@@ -1,0 +1,54 @@
+// Command mpptest derives the machine-dependent parameter vector of a
+// simulated cluster the way the paper does on hardware: ping-pong sweeps
+// for Ts/Tb (MPPTest), timed probes for tc and tm (Perfmon, LMbench
+// lat_mem_rd), power profiling for the idle and delta powers (PowerPack)
+// and a DVFS sweep for the power-law exponent γ.
+//
+// Usage:
+//
+//	mpptest [-cluster systemg] [-freq 2.8e9] [-noise] [-gamma]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/microbench"
+	"repro/internal/units"
+)
+
+func main() {
+	clusterName := flag.String("cluster", "systemg", "cluster preset: systemg, dori")
+	freq := flag.Float64("freq", 0, "frequency in Hz (0 = nominal)")
+	noise := flag.Bool("noise", false, "measure with hardware-like noise")
+	gamma := flag.Bool("gamma", true, "sweep DVFS ladder and fit γ")
+	seed := flag.Int64("seed", 1, "noise seed")
+	flag.Parse()
+
+	spec, ok := machine.Presets()[strings.ToLower(*clusterName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown cluster %q\n", *clusterName)
+		os.Exit(2)
+	}
+	f := units.Hertz(*freq)
+	if f == 0 {
+		f = spec.BaseFreq
+	}
+	res, err := microbench.DeriveMachineVector(spec, f, *seed, *noise, *gamma)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("measured machine-dependent vector for %s:\n  %v\n", spec.Name, res)
+
+	truth, err := spec.AtFrequency(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("spec truth:\n  f=%v: tc=%v tm=%v Ts=%v Tb=%v Psys-idle=%v ΔPc=%v ΔPm=%v γ=%.2f\n",
+		truth.Freq, truth.Tc, truth.Tm, truth.Ts, truth.Tb, truth.PsysIdle, truth.DeltaPc, truth.DeltaPm, spec.Gamma)
+}

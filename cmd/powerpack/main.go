@@ -1,0 +1,106 @@
+// Command powerpack profiles a kernel run on the simulated cluster the
+// way PowerPack profiles a real node: per-component power sampled on a
+// fixed grid, rendered as a strip chart (Figure 10) or CSV.
+//
+// Usage:
+//
+//	powerpack -bench ft -class S -p 4 [-interval 0.01] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/machine"
+	"repro/internal/npb"
+	"repro/internal/npb/cg"
+	"repro/internal/npb/ep"
+	"repro/internal/npb/ft"
+	"repro/internal/npb/is"
+	"repro/internal/npb/mg"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func main() {
+	bench := flag.String("bench", "ft", "kernel: ep, ft, cg, is, mg")
+	class := flag.String("class", "T", "problem class: T, S, W, A, B")
+	p := flag.Int("p", 4, "number of ranks")
+	clusterName := flag.String("cluster", "systemg", "cluster preset")
+	interval := flag.Float64("interval", 0, "sampling interval in seconds (0 = auto ~200 samples)")
+	csv := flag.Bool("csv", false, "emit CSV instead of the strip chart")
+	rank := flag.Int("rank", 0, "node (rank) to profile; -1 = whole cluster")
+	seed := flag.Int64("seed", 1, "noise seed")
+	flag.Parse()
+
+	spec, ok := machine.Presets()[strings.ToLower(*clusterName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown cluster %q\n", *clusterName)
+		os.Exit(2)
+	}
+	mk := func() (npb.Kernel, error) {
+		switch strings.ToLower(*bench) {
+		case "ep":
+			return ep.New(ep.Classes()[*class])
+		case "ft":
+			return ft.New(ft.Classes()[*class])
+		case "cg":
+			return cg.New(cg.Classes()[*class])
+		case "is":
+			return is.New(is.Classes()[*class])
+		case "mg":
+			return mg.New(mg.Classes()[*class])
+		}
+		return nil, fmt.Errorf("unknown benchmark %q", *bench)
+	}
+
+	// Auto-size the interval with a noiseless dry run.
+	sampling := units.Seconds(*interval)
+	if sampling <= 0 {
+		k, err := mk()
+		exitOn(err)
+		dry, err := cluster.New(cluster.Config{Spec: spec, Ranks: *p, Alpha: k.Alpha(), Seed: *seed})
+		exitOn(err)
+		_, err = npb.Run(dry, k)
+		exitOn(err)
+		sampling = units.Seconds(float64(dry.Wall()) / 200)
+		if sampling <= 0 {
+			sampling = units.Millisecond
+		}
+	}
+
+	k, err := mk()
+	exitOn(err)
+	cl, err := cluster.New(cluster.Config{
+		Spec: spec, Ranks: *p, Alpha: k.Alpha(),
+		Noise: cluster.DefaultNoise(), Seed: *seed,
+	})
+	exitOn(err)
+	var ranks []int
+	if *rank >= 0 {
+		ranks = []int{*rank}
+	}
+	prof, err := power.Attach(cl, sampling, true, ranks...)
+	exitOn(err)
+	rep, err := npb.Run(cl, k)
+	exitOn(err)
+
+	trace := prof.Profile()
+	if *csv {
+		exitOn(trace.WriteCSV(os.Stdout))
+		return
+	}
+	fmt.Printf("%s\n", rep)
+	fmt.Print(trace.Render(96))
+	fmt.Printf("peak %v, mean %v, trace energy %v\n", trace.PeakTotal(), trace.MeanTotal(), trace.Energy())
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Capacity planning: use the iso-energy-efficiency function — the energy
+// analogue of Grama's isoefficiency function — to answer "how much must
+// the problem grow to keep the machine energy-efficient as we add
+// processors?", and compare homogeneous with heterogeneous deployments
+// (the paper's §VII future-work extension).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+func main() {
+	spec := machine.SystemG()
+	f := spec.BaseFreq
+	ps := []int{4, 8, 16, 32, 64, 128}
+
+	// Part 1: n(p) keeping EE ≥ target, FT and CG side by side with the
+	// performance-isoefficiency baseline.
+	target := 0.75
+	fmt.Printf("problem growth to hold efficiency ≥ %.2f on %s:\n", target, spec.Name)
+	fmt.Printf("%6s %16s %16s %16s\n", "p", "FT n(EE)", "CG n(EE)", "FT n(PE) [Grama]")
+	for _, p := range ps {
+		nFT, err := analysis.IsoEnergyN(spec, app.FT(20), f, p, target, 1<<8, 1e13)
+		ftCell := fmt.Sprintf("%.4g", nFT)
+		if err != nil {
+			ftCell = "unreachable"
+		}
+		nCG, err := analysis.IsoEnergyN(spec, app.CG(11, 15), f, p, target, 1<<8, 1e13)
+		cgCell := fmt.Sprintf("%.4g", nCG)
+		if err != nil {
+			cgCell = "unreachable"
+		}
+		nPE, err := analysis.PerformanceIsoN(spec, app.FT(20), f, p, target, 1<<8, 1e13)
+		peCell := fmt.Sprintf("%.4g", nPE)
+		if err != nil {
+			peCell = "unreachable"
+		}
+		fmt.Printf("%6d %16s %16s %16s\n", p, ftCell, cgCell, peCell)
+	}
+
+	// Part 2: what would mixing slower nodes in cost? Heterogeneous
+	// prediction with half the ranks on Dori-class nodes.
+	fmt.Println("\nheterogeneous deployment check (FT, n=2^21, p=16):")
+	n := float64(1 << 21)
+	w := app.FT(20).At(n, 16)
+
+	uniform, err := spec.AtFrequency(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := make([]machine.Params, 16)
+	for i := range params {
+		params[i] = uniform
+	}
+	homo, err := core.PredictHetero(params, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dori, err := machine.Dori().Base()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 8; i < 16; i++ {
+		params[i] = dori
+	}
+	mixed, err := core.PredictHetero(params, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  all SystemG:        Tp=%v  Ep=%v  EE=%.4f\n", homo.Tp, homo.Ep, homo.EE)
+	fmt.Printf("  half Dori nodes:    Tp=%v  Ep=%v  EE=%.4f\n", mixed.Tp, mixed.Ep, mixed.EE)
+	fmt.Printf("  → the slow half stretches the makespan by %.1f×; every node idles against it.\n",
+		float64(mixed.Tp)/float64(homo.Tp))
+	_ = units.Watts(0)
+}

@@ -1,0 +1,324 @@
+// Package analysis provides the decision-making layer built on the
+// iso-energy-efficiency model: the EE surfaces of the paper's Figures
+// 5–9, the iso-energy-efficiency function (how fast must the problem grow
+// to hold EE constant as p scales — the energy analogue of Grama's
+// isoefficiency function), the power-constrained operating-point
+// optimiser motivating the paper's title, and the baselines the paper
+// compares against (performance isoefficiency; Ge & Cameron power-aware
+// speedup).
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// Point is one evaluated model operating point.
+type Point struct {
+	P    int
+	Freq units.Hertz
+	N    float64
+	core.Prediction
+}
+
+// Surface is a grid of evaluated points: rows indexed by p, columns by
+// the second axis (frequency or problem size).
+type Surface struct {
+	App     string
+	FixedN  float64     // set for (p, f) surfaces
+	FixedF  units.Hertz // set for (p, n) surfaces
+	Ps      []int
+	Cols    []float64 // frequency in Hz or problem size
+	ColKind string    // "f" or "n"
+	EE      [][]float64
+	Points  [][]Point
+}
+
+// SurfacePF evaluates EE over (p, f) at fixed n — Figures 5, 7, 9.
+func SurfacePF(spec machine.Spec, v app.Vector, n float64, ps []int, fs []units.Hertz) (Surface, error) {
+	s := Surface{App: v.Name, FixedN: n, Ps: ps, ColKind: "f"}
+	for _, f := range fs {
+		s.Cols = append(s.Cols, float64(f))
+	}
+	for _, p := range ps {
+		var eeRow []float64
+		var ptRow []Point
+		for _, f := range fs {
+			mp, err := spec.AtFrequency(f)
+			if err != nil {
+				return Surface{}, err
+			}
+			pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
+			if err != nil {
+				return Surface{}, fmt.Errorf("analysis: %s at p=%d f=%v: %w", v.Name, p, f, err)
+			}
+			eeRow = append(eeRow, pr.EE)
+			ptRow = append(ptRow, Point{P: p, Freq: f, N: n, Prediction: pr})
+		}
+		s.EE = append(s.EE, eeRow)
+		s.Points = append(s.Points, ptRow)
+	}
+	return s, nil
+}
+
+// SurfacePN evaluates EE over (p, n) at fixed f — Figures 6 and 8.
+func SurfacePN(spec machine.Spec, v app.Vector, f units.Hertz, ps []int, ns []float64) (Surface, error) {
+	mp, err := spec.AtFrequency(f)
+	if err != nil {
+		return Surface{}, err
+	}
+	s := Surface{App: v.Name, FixedF: f, Ps: ps, Cols: ns, ColKind: "n"}
+	for _, p := range ps {
+		var eeRow []float64
+		var ptRow []Point
+		for _, n := range ns {
+			pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
+			if err != nil {
+				return Surface{}, fmt.Errorf("analysis: %s at p=%d n=%g: %w", v.Name, p, n, err)
+			}
+			eeRow = append(eeRow, pr.EE)
+			ptRow = append(ptRow, Point{P: p, Freq: f, N: n, Prediction: pr})
+		}
+		s.EE = append(s.EE, eeRow)
+		s.Points = append(s.Points, ptRow)
+	}
+	return s, nil
+}
+
+// Render draws the surface as a fixed-width table (the textual Figure
+// 5–9 analogue).
+func (s Surface) Render() string {
+	var b strings.Builder
+	axis := "f [GHz]"
+	if s.ColKind == "n" {
+		axis = "n"
+	}
+	if s.ColKind == "f" {
+		fmt.Fprintf(&b, "EE(%s) at n=%g — rows p, cols %s\n", s.App, s.FixedN, axis)
+	} else {
+		fmt.Fprintf(&b, "EE(%s) at f=%v — rows p, cols %s\n", s.App, s.FixedF, axis)
+	}
+	fmt.Fprintf(&b, "%8s", "p\\"+s.ColKind)
+	for _, c := range s.Cols {
+		if s.ColKind == "f" {
+			fmt.Fprintf(&b, " %8.2f", c/1e9)
+		} else {
+			fmt.Fprintf(&b, " %8.3g", c)
+		}
+	}
+	b.WriteByte('\n')
+	for i, p := range s.Ps {
+		fmt.Fprintf(&b, "%8d", p)
+		for _, ee := range s.EE[i] {
+			fmt.Fprintf(&b, " %8.4f", ee)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV emits the surface as long-form CSV rows (p, col, EE, T p, Ep, …).
+func (s Surface) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app,p,%s,ee,eef,tp_s,ep_j,speedup,pe,avg_power_w\n", s.ColKind)
+	for i := range s.Ps {
+		for j := range s.Cols {
+			pt := s.Points[i][j]
+			fmt.Fprintf(&b, "%s,%d,%g,%.6f,%.6f,%.6g,%.6g,%.4f,%.4f,%.2f\n",
+				s.App, pt.P, s.Cols[j], pt.EE, pt.EEF, float64(pt.Tp), float64(pt.Ep),
+				pt.Speedup, pt.PE, float64(pt.AvgPower))
+		}
+	}
+	return b.String()
+}
+
+// ErrUnreachable reports an iso-efficiency target no problem size can
+// reach (e.g. raising n does not change EP's EE).
+var ErrUnreachable = errors.New("analysis: target efficiency unreachable by scaling n")
+
+// IsoEnergyN returns the minimal problem size n at which the application
+// reaches EE ≥ target on p processors at frequency f — one point of the
+// iso-energy-efficiency function n(p). The search assumes EE is
+// non-decreasing in n (true for FT/CG-like vectors; ErrUnreachable
+// otherwise) and brackets within [nMin, nMax].
+func IsoEnergyN(spec machine.Spec, v app.Vector, f units.Hertz, p int, target, nMin, nMax float64) (float64, error) {
+	if target <= 0 || target > 1 {
+		return 0, fmt.Errorf("analysis: target EE %g outside (0,1]", target)
+	}
+	if nMin <= 0 || nMax <= nMin {
+		return 0, fmt.Errorf("analysis: bad bracket [%g, %g]", nMin, nMax)
+	}
+	mp, err := spec.AtFrequency(f)
+	if err != nil {
+		return 0, err
+	}
+	ee := func(n float64) (float64, error) {
+		pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
+		if err != nil {
+			return 0, err
+		}
+		return pr.EE, nil
+	}
+	lo, hi := nMin, nMax
+	eeLo, err := ee(lo)
+	if err != nil {
+		return 0, err
+	}
+	if eeLo >= target {
+		return lo, nil
+	}
+	eeHi, err := ee(hi)
+	if err != nil {
+		return 0, err
+	}
+	if eeHi < target {
+		return 0, fmt.Errorf("%w: EE(nMax=%g) = %.4f < %.4f", ErrUnreachable, hi, eeHi, target)
+	}
+	for i := 0; i < 200 && hi/lo > 1+1e-9; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: n spans decades
+		eeMid, err := ee(mid)
+		if err != nil {
+			return 0, err
+		}
+		if eeMid >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// IsoEnergyFunction tabulates n(p) for the target EE — the energy
+// analogue of Grama's isoefficiency function.
+func IsoEnergyFunction(spec machine.Spec, v app.Vector, f units.Hertz, ps []int, target, nMin, nMax float64) (map[int]float64, error) {
+	out := make(map[int]float64, len(ps))
+	for _, p := range ps {
+		n, err := IsoEnergyN(spec, v, f, p, target, nMin, nMax)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: p=%d: %w", p, err)
+		}
+		out[p] = n
+	}
+	return out, nil
+}
+
+// OperatingPoint is a power-constrained optimiser recommendation.
+type OperatingPoint struct {
+	Point
+	Feasible bool
+}
+
+// OptimizeUnderPowerBudget scans (p, f) over the given parallelism list
+// and the spec's DVFS ladder and returns the operating point with the
+// shortest predicted runtime whose average system power stays within
+// budget — "power-constrained parallel computation" made concrete. The
+// boolean result reports whether any point was feasible.
+func OptimizeUnderPowerBudget(spec machine.Spec, v app.Vector, n float64, ps []int, budget units.Watts) (OperatingPoint, error) {
+	if budget <= 0 {
+		return OperatingPoint{}, fmt.Errorf("analysis: power budget %v must be positive", budget)
+	}
+	best := OperatingPoint{}
+	for _, p := range ps {
+		for _, f := range spec.Frequencies {
+			mp, err := spec.AtFrequency(f)
+			if err != nil {
+				return OperatingPoint{}, err
+			}
+			pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
+			if err != nil {
+				return OperatingPoint{}, err
+			}
+			if pr.AvgPower > budget {
+				continue
+			}
+			if !best.Feasible || pr.Tp < best.Tp {
+				best = OperatingPoint{
+					Point:    Point{P: p, Freq: f, N: n, Prediction: pr},
+					Feasible: true,
+				}
+			}
+		}
+	}
+	if !best.Feasible {
+		return best, fmt.Errorf("analysis: no (p, f) meets the %v budget for %s at n=%g", budget, v.Name, n)
+	}
+	return best, nil
+}
+
+// PerformanceIsoN is the Grama-baseline counterpart of IsoEnergyN: the
+// minimal n at which performance efficiency T1/(p·Tp) reaches the target.
+func PerformanceIsoN(spec machine.Spec, v app.Vector, f units.Hertz, p int, target, nMin, nMax float64) (float64, error) {
+	if target <= 0 || target > 1 {
+		return 0, fmt.Errorf("analysis: target PE %g outside (0,1]", target)
+	}
+	mp, err := spec.AtFrequency(f)
+	if err != nil {
+		return 0, err
+	}
+	pe := func(n float64) (float64, error) {
+		pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
+		if err != nil {
+			return 0, err
+		}
+		return pr.PE, nil
+	}
+	lo, hi := nMin, nMax
+	peLo, err := pe(lo)
+	if err != nil {
+		return 0, err
+	}
+	if peLo >= target {
+		return lo, nil
+	}
+	peHi, err := pe(hi)
+	if err != nil {
+		return 0, err
+	}
+	if peHi < target {
+		return 0, fmt.Errorf("%w: PE(nMax=%g) = %.4f < %.4f", ErrUnreachable, hi, peHi, target)
+	}
+	for i := 0; i < 200 && hi/lo > 1+1e-9; i++ {
+		mid := math.Sqrt(lo * hi)
+		peMid, err := pe(mid)
+		if err != nil {
+			return 0, err
+		}
+		if peMid >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// PowerAwareSpeedup is the Ge & Cameron baseline: speedup of the parallel
+// run at frequency f relative to the sequential run at the machine's
+// nominal frequency, exposing the performance price of DVFS states.
+func PowerAwareSpeedup(spec machine.Spec, v app.Vector, n float64, p int, f units.Hertz) (float64, error) {
+	base, err := spec.Base()
+	if err != nil {
+		return 0, err
+	}
+	seq := core.Model{Machine: base, App: v.At(n, 1)}
+	t1 := seq.SequentialTime()
+
+	mp, err := spec.AtFrequency(f)
+	if err != nil {
+		return 0, err
+	}
+	par := core.Model{Machine: mp, App: v.At(n, p)}
+	tp := par.ParallelTime()
+	if tp <= 0 {
+		return 0, errors.New("analysis: degenerate parallel time")
+	}
+	return float64(t1) / float64(tp), nil
+}

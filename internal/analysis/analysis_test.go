@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+var (
+	sysG = machine.SystemG()
+	fs   = []units.Hertz{2.0 * units.GHz, 2.4 * units.GHz, 2.8 * units.GHz}
+	ps   = []int{1, 4, 16, 64}
+)
+
+func TestSurfacePFShape(t *testing.T) {
+	s, err := SurfacePF(sysG, app.FT(20), 1<<21, ps, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.EE) != len(ps) || len(s.EE[0]) != len(fs) {
+		t.Fatalf("surface dims %dx%d", len(s.EE), len(s.EE[0]))
+	}
+	// EE must fall with p (Figure 5's dominant trend) at every f.
+	for j := range fs {
+		for i := 1; i < len(ps); i++ {
+			if s.EE[i][j] > s.EE[i-1][j]+1e-9 {
+				t.Fatalf("FT EE rose with p at f=%v: %v", fs[j], s.EE)
+			}
+		}
+	}
+	// Every EE in (0, 1].
+	for _, row := range s.EE {
+		for _, ee := range row {
+			if ee <= 0 || ee > 1 {
+				t.Fatalf("EE out of range: %g", ee)
+			}
+		}
+	}
+	out := s.Render()
+	if !strings.Contains(out, "EE(FT)") {
+		t.Fatalf("render:\n%s", out)
+	}
+	csv := s.CSV()
+	if !strings.Contains(csv, "app,p,f") || len(strings.Split(csv, "\n")) < len(ps)*len(fs) {
+		t.Fatalf("csv too short:\n%s", csv)
+	}
+}
+
+func TestSurfacePNShape(t *testing.T) {
+	ns := []float64{1 << 18, 1 << 20, 1 << 22}
+	s, err := SurfacePN(sysG, app.FT(20), 2.8*units.GHz, ps, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EE must rise with n at fixed p > 1 (Figure 6).
+	for i, p := range ps {
+		if p == 1 {
+			continue
+		}
+		for j := 1; j < len(ns); j++ {
+			if s.EE[i][j] < s.EE[i][j-1]-1e-9 {
+				t.Fatalf("FT EE fell with n at p=%d: %v", p, s.EE[i])
+			}
+		}
+	}
+}
+
+func TestIsoEnergyNBracketsTarget(t *testing.T) {
+	p := 16
+	target := 0.75 // FT's EE asymptote on SystemG is ≈0.77; 0.75 is reachable
+	n, err := IsoEnergyN(sysG, app.FT(20), 2.8*units.GHz, p, target, 1<<10, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EE at the found n must be ≥ target, and slightly below n must miss.
+	mp := sysG.MustBase()
+	ee := func(nn float64) float64 {
+		pr, err := coreModel(mp, app.FT(20), nn, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+	if ee(n) < target {
+		t.Fatalf("EE(n*=%g) = %g < target %g", n, ee(n), target)
+	}
+	if ee(n*0.9) >= target {
+		t.Fatalf("n* not minimal: EE(0.9·n*) = %g ≥ target", ee(n*0.9))
+	}
+}
+
+func TestIsoEnergyFunctionGrowsWithP(t *testing.T) {
+	fn, err := IsoEnergyFunction(sysG, app.FT(20), 2.8*units.GHz, []int{4, 16, 64}, 0.75, 1<<10, 1<<32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fn[4] < fn[16] && fn[16] < fn[64]) {
+		t.Fatalf("iso-energy n(p) should grow with p: %v", fn)
+	}
+}
+
+func TestIsoEnergyNUnreachableForEP(t *testing.T) {
+	// EP's EE barely moves with n — a very high target can be reached
+	// (EE≈1) but scaling cannot fix a target above its plateau… use a
+	// target above 1−ε of the plateau at large p with a tiny n range
+	// that stays below it.
+	_, err := IsoEnergyN(sysG, app.FT(20), 2.8*units.GHz, 64, 0.999, 100, 200)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestIsoEnergyNValidation(t *testing.T) {
+	if _, err := IsoEnergyN(sysG, app.FT(20), 2.8*units.GHz, 4, 1.5, 1, 10); err == nil {
+		t.Error("target > 1 must be rejected")
+	}
+	if _, err := IsoEnergyN(sysG, app.FT(20), 2.8*units.GHz, 4, 0.8, 10, 5); err == nil {
+		t.Error("inverted bracket must be rejected")
+	}
+}
+
+func TestOptimizeUnderPowerBudget(t *testing.T) {
+	v := app.CG(11, 15)
+	n := 75000.0
+	// Generous budget: should pick a large p (fastest) within budget.
+	op, err := OptimizeUnderPowerBudget(sysG, v, n, []int{1, 4, 16, 64}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !op.Feasible {
+		t.Fatal("generous budget must be feasible")
+	}
+	if op.AvgPower > 3000 {
+		t.Fatalf("chosen point exceeds budget: %v", op.AvgPower)
+	}
+	// Tight budget: forces fewer processors and/or lower frequency.
+	tight, err := OptimizeUnderPowerBudget(sysG, v, n, []int{1, 4, 16, 64}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.P > op.P {
+		t.Fatalf("tighter budget should not allow more processors: %d vs %d", tight.P, op.P)
+	}
+	if tight.Tp < op.Tp {
+		t.Fatal("tighter budget cannot be faster")
+	}
+	// Impossible budget errors out.
+	if _, err := OptimizeUnderPowerBudget(sysG, v, n, []int{1, 4}, 1); err == nil {
+		t.Fatal("infeasible budget must error")
+	}
+	if _, err := OptimizeUnderPowerBudget(sysG, v, n, []int{1}, -5); err == nil {
+		t.Fatal("negative budget must be rejected")
+	}
+}
+
+func TestPerformanceIsoVsEnergyIso(t *testing.T) {
+	// For FT both exist; the two functions need not coincide — that gap
+	// is the paper's point. Just check both solve and are positive.
+	nPE, err := PerformanceIsoN(sysG, app.FT(20), 2.8*units.GHz, 16, 0.75, 1<<10, 1<<32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nEE, err := IsoEnergyN(sysG, app.FT(20), 2.8*units.GHz, 16, 0.75, 1<<10, 1<<32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nPE <= 0 || nEE <= 0 {
+		t.Fatalf("degenerate iso points: PE %g, EE %g", nPE, nEE)
+	}
+	rel := math.Abs(nPE-nEE) / nEE
+	if rel < 1e-6 {
+		t.Log("note: PE and EE iso points coincide for this vector")
+	}
+}
+
+func TestPowerAwareSpeedup(t *testing.T) {
+	v := app.EP()
+	n := 1e8
+	// EP at p=16, full frequency: speedup ≈ 16.
+	s, err := PowerAwareSpeedup(sysG, v, n, 16, 2.8*units.GHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 14 || s > 16.5 {
+		t.Fatalf("EP power-aware speedup at 2.8GHz = %g, want ≈16", s)
+	}
+	// At reduced frequency the speedup must drop (compute-bound EP).
+	sLow, err := PowerAwareSpeedup(sysG, v, n, 16, 2.0*units.GHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sLow >= s {
+		t.Fatalf("lower frequency should reduce speedup: %g vs %g", sLow, s)
+	}
+}
+
+// coreModel is a tiny helper returning EE for (machine, vector, n, p).
+func coreModel(mp machine.Params, v app.Vector, n float64, p int) (float64, error) {
+	pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
+	if err != nil {
+		return 0, err
+	}
+	return pr.EE, nil
+}

@@ -1,0 +1,326 @@
+// Package app provides application-dependent parameter vectors for the
+// iso-energy-efficiency model (the paper's Table 2):
+//
+//	App(n, p) = (α, Won, Woff, ΔWon, ΔWoff, M, B)
+//
+// Each quantity is a closed-form function of problem size n and
+// parallelism p, mirroring §V.B of the paper where per-benchmark vectors
+// are built "by analyzing the algorithm and measuring the actual
+// workload". The closed forms below mirror the operation counting of the
+// executable kernels in internal/npb (same formulas, so the model and the
+// simulator agree by construction up to noise), and internal/fit can
+// re-derive the coefficients from measured counters, reproducing the
+// paper's methodology end to end.
+package app
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Vector is a symbolic application-dependent parameter vector: workload
+// functions of (n, p). Evaluate it with At to obtain the concrete
+// core.Workload the model consumes.
+type Vector struct {
+	// Name identifies the application ("FT", "EP", "CG", …).
+	Name string
+	// Alpha is the overlap factor α, constant per application and
+	// compiler/platform (paper §VI.F).
+	Alpha float64
+	// Sequential workloads (functions of n only in the paper; p is
+	// passed for generality).
+	WOn  func(n float64, p int) float64
+	WOff func(n float64, p int) float64
+	// Parallel overheads (0 at p=1 by definition).
+	DWOn  func(n float64, p int) float64
+	DWOff func(n float64, p int) float64
+	// Communication volume (0 at p=1).
+	M func(n float64, p int) float64
+	B func(n float64, p int) float64
+}
+
+// At evaluates the vector at a concrete problem size and parallelism.
+func (v Vector) At(n float64, p int) core.Workload {
+	if p < 1 {
+		panic(fmt.Sprintf("app: %s: p=%d < 1", v.Name, p))
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("app: %s: n=%g must be positive", v.Name, n))
+	}
+	w := core.Workload{
+		Alpha: v.Alpha,
+		WOn:   v.WOn(n, p),
+		WOff:  v.WOff(n, p),
+		P:     p,
+	}
+	if p > 1 {
+		w.DWOn = v.DWOn(n, p)
+		w.DWOff = v.DWOff(n, p)
+		w.M = v.M(n, p)
+		w.B = v.B(n, p)
+	}
+	return w
+}
+
+// FromCounters builds a concrete workload vector from measured
+// quantities, the validation-side construction (paper §IV.B): the
+// sequential run supplies Won and Woff; the parallel run's totals minus
+// the sequential workload give the overheads (negative overheads are
+// legitimate — CG's per-rank working sets fit in cache, so the parallel
+// total can undercut the sequential one, the paper's negative ΔWoff);
+// the tracer supplies M and B.
+func FromCounters(alpha float64, seqOn, seqOff, parOn, parOff float64, m int64, b float64, p int) core.Workload {
+	return core.Workload{
+		Alpha: alpha,
+		WOn:   seqOn,
+		WOff:  seqOff,
+		DWOn:  parOn - seqOn,
+		DWOff: parOff - seqOff,
+		M:     float64(m),
+		B:     b,
+		P:     p,
+	}
+}
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+// ceilLog2 returns ⌈log2 p⌉ as a float64 (0 for p ≤ 1).
+func ceilLog2(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	k := 0
+	for v := p - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return float64(k)
+}
+
+// FT returns the vector for the FT benchmark: a 3-D PDE solved with
+// FFTs, n = total grid points, NIter iterations, slab decomposition with
+// a pairwise-exchange all-to-all transpose each iteration (paper §V.B.1).
+// Communication dominated: M grows as p², so EE falls quickly with p and
+// recovers with n.
+func FT(iters int) Vector {
+	it := float64(iters)
+	const bytesPerElem = 16 // complex128
+	return Vector{
+		Name:  "FT",
+		Alpha: 0.86, // paper §V.B.1
+		// 5·n·log2(n) per 3-D FFT plus evolve and checksum sweeps.
+		WOn: func(n float64, p int) float64 {
+			return it * (5*n*log2(n) + 12*n)
+		},
+		// One off-chip access per element per grid sweep: 3 FFT passes,
+		// evolve, checksum ⇒ ~6 sweeps per iteration.
+		WOff: func(n float64, p int) float64 {
+			return it * 6 * n
+		},
+		// Parallel pack/unpack of the transpose buffers: ~4 extra ops
+		// per element per iteration, independent of p.
+		DWOn: func(n float64, p int) float64 {
+			return it * 4 * n
+		},
+		// Transpose staging traffic: 2 extra sweeps per iteration.
+		DWOff: func(n float64, p int) float64 {
+			return it * 2 * n
+		},
+		// Pairwise-exchange all-to-all: every rank sends p−1 blocks per
+		// iteration.
+		M: func(n float64, p int) float64 {
+			return it * float64(p) * float64(p-1)
+		},
+		// Each rank ships n/p elements minus its own block:
+		// total B = iters · bytes · n · (p−1)/p.
+		B: func(n float64, p int) float64 {
+			return it * bytesPerElem * n * float64(p-1) / float64(p)
+		},
+	}
+}
+
+// EP returns the vector for the embarrassingly parallel benchmark:
+// n Gaussian-pair trials via the Marsaglia polar method (paper §V.B.2).
+// Only the closing reductions communicate, so EE ≈ 1 for all (p, f, n).
+func EP() Vector {
+	const (
+		opsPerPair  = 110.0 // LCG + polar transform + tallies (≈ paper's 109.4)
+		offPerPair  = 1e-3  // annulus counters live in cache; spills are rare
+		reduceBytes = 96.0  // 10 annuli + Σx + Σy as float64
+	)
+	return Vector{
+		Name:  "EP",
+		Alpha: 0.93, // paper §V.B.2
+		WOn: func(n float64, p int) float64 {
+			return opsPerPair * n
+		},
+		WOff: func(n float64, p int) float64 {
+			return offPerPair * n
+		},
+		// Per-rank seed jump and the reduction arithmetic.
+		DWOn: func(n float64, p int) float64 {
+			return 300 * float64(p) * ceilLog2(p)
+		},
+		DWOff: func(n float64, p int) float64 {
+			return 2 * float64(p)
+		},
+		// Three recursive-doubling allreduces at the end.
+		M: func(n float64, p int) float64 {
+			return 3 * 2 * float64(p) * ceilLog2(p)
+		},
+		B: func(n float64, p int) float64 {
+			return reduceBytes * 2 * float64(p) * ceilLog2(p)
+		},
+	}
+}
+
+// CG returns the vector for the conjugate-gradient benchmark: matrix
+// order n with ~2·nonzer+1 nonzeros per row, NPB-style 2-D processor
+// grid (paper §V.B.3). The √p terms come from the row/column team
+// exchanges and the redundant vector updates of the 2-D decomposition.
+//
+// The parallel overhead is compute-dominated: the redundant vector
+// updates replicated across the √p row teams stay cache-resident, so
+// they add on-chip work but almost no memory traffic, while cache
+// effects on the divided matrix cancel most of the residual memory
+// overhead (the paper's CG fit even reports a slightly negative ΔWoff).
+// This compute-heavy Eo against CG's memory-anchored E1 is what makes
+// EE rise with frequency — the paper's §V.B.7 finding — while EE still
+// falls with p and rises with n.
+func CG(nonzer, iters int) Vector {
+	nz := float64(nonzer)
+	nnzRow := 2*nz + 1
+	it := float64(iters) * 26 // niter outer × (25 CG steps + residual)
+	grid := func(p int) (r, c float64) {
+		lg := ceilLog2(p)
+		r = math.Pow(2, math.Floor(lg/2))
+		return r, float64(p) / r
+	}
+	return Vector{
+		Name:  "CG",
+		Alpha: 0.85, // paper §V.B.3
+		// Matvec 2·nnz + ~10n of vector operations per CG step.
+		WOn: func(n float64, p int) float64 {
+			return it * (2*nnzRow*n + 10*n)
+		},
+		// The matvec gather (one access per nonzero) plus vector sweeps.
+		WOff: func(n float64, p int) float64 {
+			return it * (nnzRow*n + 5*n)
+		},
+		// Redundant vector updates across the √p row teams plus the
+		// row-reduction arithmetic.
+		DWOn: func(n float64, p int) float64 {
+			r, c := grid(p)
+			return it * (10*n*(r-1) + n*r*math.Log2(c+1))
+		},
+		// Small residual memory overhead: replicated sweeps are
+		// cache-resident and cache gains on the divided matrix offset
+		// most of the rest.
+		DWOff: func(n float64, p int) float64 {
+			r, _ := grid(p)
+			return it * 0.1 * n * (r - 1)
+		},
+		// Per CG step: row-team reduce + transpose exchange + two dot
+		// products (recursive doubling).
+		M: func(n float64, p int) float64 {
+			return it * float64(p) * (ceilLog2(p) + 3)
+		},
+		// Team exchanges carry n/√p elements per rank: B ≈ 8·n·√p per
+		// sweep.
+		B: func(n float64, p int) float64 {
+			sq := math.Sqrt(float64(p))
+			return it * 8 * n * sq
+		},
+	}
+}
+
+// IS returns the vector for the integer-sort benchmark: n keys bucket
+// sorted with a histogram allreduce and an all-to-all-v redistribution
+// per repetition.
+func IS(buckets, iters int) Vector {
+	bk := float64(buckets)
+	it := float64(iters)
+	return Vector{
+		Name:  "IS",
+		Alpha: 0.90,
+		WOn: func(n float64, p int) float64 {
+			return it * 14 * n
+		},
+		WOff: func(n float64, p int) float64 {
+			return it * 3 * n
+		},
+		DWOn: func(n float64, p int) float64 {
+			return it * bk * float64(p)
+		},
+		DWOff: func(n float64, p int) float64 {
+			return it * 0.25 * bk * float64(p)
+		},
+		M: func(n float64, p int) float64 {
+			// histogram allreduce + alltoallv.
+			return it * (2*float64(p)*ceilLog2(p) + float64(p)*float64(p-1))
+		},
+		B: func(n float64, p int) float64 {
+			// keys travel once (4 bytes each) + histogram traffic.
+			return it * (4*n*float64(p-1)/float64(p) + 8*bk*2*float64(p)*ceilLog2(p))
+		},
+	}
+}
+
+// MG returns the vector for the multigrid benchmark: V-cycles on an
+// N³ grid (n = N³ total points) with 1-D slab halo exchanges — the
+// nearest-neighbour communication pattern, included as the paper's
+// "various execution patterns" complement.
+func MG(iters int) Vector {
+	it := float64(iters)
+	return Vector{
+		Name:  "MG",
+		Alpha: 0.88,
+		WOn: func(n float64, p int) float64 {
+			// Residual + smoothing over the grid hierarchy: Σ levels
+			// n/8^k ≈ 8n/7 points, ~30 ops each.
+			return it * 30 * n * 8 / 7
+		},
+		WOff: func(n float64, p int) float64 {
+			return it * 4 * n * 8 / 7
+		},
+		DWOn: func(n float64, p int) float64 {
+			// Halo assembly on each level.
+			return it * 6 * math.Pow(n, 2.0/3) * float64(p)
+		},
+		DWOff: func(n float64, p int) float64 {
+			return it * 2 * math.Pow(n, 2.0/3) * float64(p)
+		},
+		M: func(n float64, p int) float64 {
+			// Two neighbours per level per rank; ~log8(n) levels.
+			return it * 2 * float64(p) * math.Max(1, log2(n)/3)
+		},
+		B: func(n float64, p int) float64 {
+			// A face of N² = n^(2/3) points per exchange.
+			return it * 2 * float64(p) * 8 * math.Pow(n, 2.0/3) * math.Max(1, log2(n)/3)
+		},
+	}
+}
+
+// ByName returns the named predefined vector with the paper's default
+// shape parameters.
+func ByName(name string) (Vector, error) {
+	switch name {
+	case "ft", "FT":
+		return FT(20), nil
+	case "ep", "EP":
+		return EP(), nil
+	case "cg", "CG":
+		return CG(11, 15), nil
+	case "is", "IS":
+		return IS(1024, 10), nil
+	case "mg", "MG":
+		return MG(4), nil
+	default:
+		return Vector{}, fmt.Errorf("app: unknown application %q (have ft, ep, cg, is, mg)", name)
+	}
+}
+
+// Bytes16 is a convenience for element sizes in closed forms.
+const Bytes16 = units.Bytes(16)

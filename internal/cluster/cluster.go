@@ -1,0 +1,406 @@
+// Package cluster simulates a power-aware cluster: the execution substrate
+// that stands in for SystemG and Dori in this reproduction (DESIGN.md §2).
+//
+// A Cluster binds together
+//
+//   - a discrete-event kernel (virtual time),
+//   - one machine-dependent parameter vector per rank (tc, tm, Ts, Tb,
+//     ΔPc, ΔPm, Psys-idle at the selected DVFS frequency),
+//   - a point-to-point network cost model with per-NIC serialisation,
+//   - per-rank performance counters and a TAU-style tracer, and
+//   - per-component busy-time accounting from which measured energy and
+//     instantaneous power are derived.
+//
+// Timing semantics follow the paper's performance model (Eq. 5–6): an
+// operation that performs w on-chip instructions and m memory accesses
+// occupies the CPU for w·tc and the memory system for m·tm; wall-clock
+// time advances by α·(w·tc + m·tm) where α ∈ (0,1] is the computational
+// overlap factor. Energy follows Eq. 9: idle power burns for the whole
+// (overlapped) wall time while active deltas burn for the full
+// (un-overlapped) component busy times. Consequently the power profiler's
+// trace integrates exactly to the measured energy.
+//
+// Optional execution noise (jitter on operation durations) and measurement
+// noise (jitter on power readings) make model-validation errors non-zero,
+// as on real hardware.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/perfctr"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Placement selects how ranks map to physical nodes.
+type Placement int
+
+const (
+	// Scatter places one rank per node (each rank owns a full NIC and a
+	// full node idle-power share). This matches the paper's per-processor
+	// energy model and is the default.
+	Scatter Placement = iota
+	// Pack fills each node's cores before using the next node; ranks on
+	// one node share the node NIC, and intra-node messages travel at
+	// shared-memory speed.
+	Pack
+)
+
+func (p Placement) String() string {
+	switch p {
+	case Scatter:
+		return "scatter"
+	case Pack:
+		return "pack"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// NoiseConfig controls stochastic perturbations. Zero value = noiseless.
+type NoiseConfig struct {
+	// ComputeJitter, MemoryJitter, NetJitter are relative standard
+	// deviations applied multiplicatively to operation durations.
+	ComputeJitter float64
+	MemoryJitter  float64
+	NetJitter     float64
+	// PowerJitter is the relative standard deviation of the power meter:
+	// applied to component energy totals at measurement time.
+	PowerJitter float64
+}
+
+// DefaultNoise reproduces hardware-like run-to-run variability: ~1 % on
+// compute, ~3 % on memory, ~5 % on network, and a PowerPack-class meter
+// error. Note that in tightly-synchronised codes (CG's per-step
+// collectives) even these few percent compound into a visible
+// straggler-driven makespan inflation the analytical model cannot see —
+// the realistic error source behind the paper's CG being its worst case.
+func DefaultNoise() NoiseConfig {
+	return NoiseConfig{
+		ComputeJitter: 0.01,
+		MemoryJitter:  0.03,
+		NetJitter:     0.05,
+		PowerJitter:   0.02,
+	}
+}
+
+// Config describes a simulated cluster run.
+type Config struct {
+	// Spec is the homogeneous node specification (ignored if PerRank is
+	// set).
+	Spec machine.Spec
+	// Freq is the DVFS operating frequency; zero means Spec.BaseFreq.
+	Freq units.Hertz
+	// Ranks is the number of MPI ranks to provision.
+	Ranks int
+	// PerRank optionally gives each rank its own machine vector
+	// (heterogeneous clusters). len(PerRank) must equal Ranks.
+	PerRank []machine.Params
+	// Net overrides the network model; nil derives Hockney{Ts,Tb} from
+	// the rank-0 machine vector.
+	Net netmodel.Model
+	// Alpha is the computational overlap factor α ∈ (0,1]; zero means 1.
+	Alpha float64
+	// Placement maps ranks to nodes (default Scatter).
+	Placement Placement
+	// Noise enables stochastic perturbation.
+	Noise NoiseConfig
+	// Seed drives all randomness (kernel events, execution noise,
+	// measurement noise). Same seed ⇒ identical run.
+	Seed int64
+	// KeepTraceLog retains raw trace events (memory heavy; summaries are
+	// always kept).
+	KeepTraceLog bool
+}
+
+// Cluster is a provisioned simulated machine. Create with New; use one
+// per experiment run.
+type Cluster struct {
+	cfg      Config
+	kernel   *sim.Kernel
+	params   []machine.Params
+	alpha    float64
+	net      netmodel.Model
+	counters *perfctr.Set
+	tracer   *trace.Tracer
+
+	rankNode []int           // rank → node index
+	txNICs   []*sim.Resource // per-node NIC transmit channel
+	rxNICs   []*sim.Resource // per-node NIC receive channel
+
+	execRNG  *rand.Rand
+	measRNG  *rand.Rand
+	wallEnd  units.Seconds // latest completion over all recorded operations
+	shmModel netmodel.Model
+
+	inflight []inflightOp // per rank: the operation currently executing
+}
+
+// inflightOp describes an operation in progress on a rank so that power
+// sampling can attribute its busy time pro rata over [start, end] instead
+// of as an instantaneous spike.
+type inflightOp struct {
+	start, end  units.Seconds
+	dc, dm, dio units.Seconds // total component attributions of the op
+}
+
+// New validates the configuration and provisions the cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("cluster: ranks must be positive, got %d", cfg.Ranks)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 1
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("cluster: overlap factor α=%g outside (0,1]", cfg.Alpha)
+	}
+
+	var params []machine.Params
+	if cfg.PerRank != nil {
+		if len(cfg.PerRank) != cfg.Ranks {
+			return nil, fmt.Errorf("cluster: PerRank has %d entries for %d ranks", len(cfg.PerRank), cfg.Ranks)
+		}
+		params = append([]machine.Params(nil), cfg.PerRank...)
+		for i, p := range params {
+			if err := p.Validate(); err != nil {
+				return nil, fmt.Errorf("cluster: rank %d: %w", i, err)
+			}
+		}
+	} else {
+		if err := cfg.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		f := cfg.Freq
+		if f == 0 {
+			f = cfg.Spec.BaseFreq
+		}
+		base, err := cfg.Spec.AtFrequency(f)
+		if err != nil {
+			return nil, err
+		}
+		capacity := cfg.Spec.Nodes
+		if cfg.Placement == Pack {
+			capacity = cfg.Spec.MaxRanks()
+		}
+		if cfg.Ranks > capacity {
+			return nil, fmt.Errorf("cluster: %d ranks exceed %s capacity %d under %v placement",
+				cfg.Ranks, cfg.Spec.Name, capacity, cfg.Placement)
+		}
+		params = make([]machine.Params, cfg.Ranks)
+		for i := range params {
+			params[i] = base
+		}
+	}
+
+	net := cfg.Net
+	if net == nil {
+		net = netmodel.Hockney{Ts: params[0].Ts, Tb: params[0].Tb}
+	}
+
+	c := &Cluster{
+		cfg:      cfg,
+		kernel:   sim.NewKernel(cfg.Seed),
+		params:   params,
+		alpha:    cfg.Alpha,
+		net:      net,
+		counters: perfctr.NewSet(),
+		tracer:   trace.New(cfg.KeepTraceLog),
+		execRNG:  rand.New(rand.NewSource(cfg.Seed ^ 0x5eed0001)),
+		measRNG:  rand.New(rand.NewSource(cfg.Seed ^ 0x5eed0002)),
+		// Intra-node transfers at shared-memory speed: negligible
+		// start-up, ~an order of magnitude more bandwidth than the NIC.
+		shmModel: netmodel.Hockney{
+			Ts: params[0].Ts / 10,
+			Tb: params[0].Tb / 10,
+		},
+	}
+
+	c.rankNode = make([]int, cfg.Ranks)
+	coresPerNode := 1
+	if cfg.Placement == Pack && cfg.PerRank == nil {
+		coresPerNode = cfg.Spec.CoresPerNode
+	}
+	nNodes := (cfg.Ranks + coresPerNode - 1) / coresPerNode
+	c.txNICs = make([]*sim.Resource, nNodes)
+	c.rxNICs = make([]*sim.Resource, nNodes)
+	for n := 0; n < nNodes; n++ {
+		c.txNICs[n] = sim.NewResource(fmt.Sprintf("nic%d.tx", n))
+		c.rxNICs[n] = sim.NewResource(fmt.Sprintf("nic%d.rx", n))
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		c.rankNode[r] = r / coresPerNode
+	}
+	c.inflight = make([]inflightOp, cfg.Ranks)
+	return c, nil
+}
+
+// Kernel returns the simulation kernel; callers spawn rank processes on it.
+func (c *Cluster) Kernel() *sim.Kernel { return c.kernel }
+
+// Ranks returns the number of provisioned ranks.
+func (c *Cluster) Ranks() int { return len(c.params) }
+
+// Params returns the machine vector of a rank.
+func (c *Cluster) Params(rank int) machine.Params { return c.params[c.checkRank(rank)] }
+
+// Alpha returns the configured overlap factor.
+func (c *Cluster) Alpha() float64 { return c.alpha }
+
+// Counters exposes the per-rank performance counters.
+func (c *Cluster) Counters() *perfctr.Set { return c.counters }
+
+// Tracer exposes the TAU-style tracer.
+func (c *Cluster) Tracer() *trace.Tracer { return c.tracer }
+
+// Net returns the interconnect cost model in use.
+func (c *Cluster) Net() netmodel.Model { return c.net }
+
+// NodeOf returns the node index hosting a rank.
+func (c *Cluster) NodeOf(rank int) int { return c.rankNode[c.checkRank(rank)] }
+
+// TxNIC returns the transmit channel of a rank's node NIC. NICs are full
+// duplex: a node can send and receive concurrently, but two concurrent
+// sends from one node serialise (likewise receives), which is how network
+// contention emerges under Pack placement or unbalanced patterns.
+func (c *Cluster) TxNIC(rank int) *sim.Resource { return c.txNICs[c.NodeOf(rank)] }
+
+// RxNIC returns the receive channel of a rank's node NIC.
+func (c *Cluster) RxNIC(rank int) *sim.Resource { return c.rxNICs[c.NodeOf(rank)] }
+
+func (c *Cluster) checkRank(rank int) int {
+	if rank < 0 || rank >= len(c.params) {
+		panic(fmt.Sprintf("cluster: rank %d out of range [0,%d)", rank, len(c.params)))
+	}
+	return rank
+}
+
+// jitter returns d perturbed by a multiplicative Gaussian factor with the
+// given relative standard deviation, clamped to stay positive.
+func (c *Cluster) jitter(d units.Seconds, rel float64) units.Seconds {
+	if rel <= 0 || d == 0 {
+		return d
+	}
+	f := 1 + rel*c.execRNG.NormFloat64()
+	if f < 0.1 {
+		f = 0.1
+	}
+	return units.Seconds(float64(d) * f)
+}
+
+func (c *Cluster) noteEnd(t units.Seconds) {
+	if t > c.wallEnd {
+		c.wallEnd = t
+	}
+}
+
+// Compute executes onChip instructions and offChip memory accesses on the
+// rank's core: the process sleeps α·(onChip·tc + offChip·tm) of virtual
+// time (with execution jitter) while counters accumulate the un-overlapped
+// busy times used by the energy model.
+func (c *Cluster) Compute(p *sim.Proc, rank int, onChip, offChip float64) {
+	if onChip < 0 || offChip < 0 {
+		panic(fmt.Sprintf("cluster: negative workload (%g,%g)", onChip, offChip))
+	}
+	mp := c.params[c.checkRank(rank)]
+	dc := c.jitter(units.Seconds(onChip*float64(mp.Tc)), c.cfg.Noise.ComputeJitter)
+	dm := c.jitter(units.Seconds(offChip*float64(mp.Tm)), c.cfg.Noise.MemoryJitter)
+
+	ctr := c.counters.Rank(rank)
+	ctr.AddCompute(onChip)
+	ctr.AddMemory(offChip)
+
+	wall := units.Seconds(c.alpha * float64(dc+dm))
+	now := c.kernel.Now()
+	c.inflight[rank] = inflightOp{start: now, end: now + wall, dc: dc, dm: dm}
+	p.Sleep(wall)
+	c.inflight[rank] = inflightOp{}
+	ctr.ComputeTime += dc
+	ctr.MemoryTime += dm
+	c.noteEnd(p.Now())
+}
+
+// IOAccess models a flat I/O access of the given device time (paper
+// §VI.B: "a simple, flat model for I/O accesses"). The benchmarks of the
+// paper do not exercise it, but the component is wired through the energy
+// model for completeness.
+func (c *Cluster) IOAccess(p *sim.Proc, rank int, d units.Seconds) {
+	if d < 0 {
+		panic(fmt.Sprintf("cluster: negative I/O time %v", d))
+	}
+	ctr := c.counters.Rank(c.checkRank(rank))
+	wall := units.Seconds(c.alpha * float64(d))
+	now := c.kernel.Now()
+	c.inflight[rank] = inflightOp{start: now, end: now + wall, dio: d}
+	p.Sleep(wall)
+	c.inflight[rank] = inflightOp{}
+	ctr.IOTime += d
+	c.noteEnd(p.Now())
+}
+
+// MessageTime prices a message from src to dst (unscaled by α): intra-node
+// messages use the shared-memory model, inter-node ones the interconnect.
+func (c *Cluster) MessageTime(src, dst int, bytes units.Bytes) units.Seconds {
+	if c.rankNode[c.checkRank(src)] == c.rankNode[c.checkRank(dst)] && src != dst {
+		return c.shmModel.MessageTime(bytes)
+	}
+	if src == dst {
+		// Local copy at memory bandwidth: treat as shared-memory transfer
+		// without start-up.
+		return c.shmModel.MessageTime(bytes) / 2
+	}
+	return c.net.MessageTime(bytes)
+}
+
+// NetworkJitter perturbs a message duration with the configured jitter.
+func (c *Cluster) NetworkJitter(d units.Seconds) units.Seconds {
+	return c.jitter(d, c.cfg.Noise.NetJitter)
+}
+
+// ReserveLink atomically books the sender's transmit channel and the
+// receiver's receive channel for a common interval of length d starting
+// no earlier than now; the interval begins when both are free. Intra-node
+// and self messages do not occupy the NIC. It returns the transfer
+// interval.
+func (c *Cluster) ReserveLink(now units.Seconds, src, dst int, d units.Seconds) (start, end units.Seconds) {
+	if c.NodeOf(src) == c.NodeOf(dst) {
+		// Same node: shared-memory transfer does not occupy the NIC.
+		return now, now + d
+	}
+	tx := c.TxNIC(src)
+	rx := c.RxNIC(dst)
+	start = tx.EarliestStart(now)
+	if s2 := rx.EarliestStart(now); s2 > start {
+		start = s2
+	}
+	tx.ReserveAt(start, d)
+	rx.ReserveAt(start, d)
+	return start, start + d
+}
+
+// RecordSend accounts a sent message on the sender's counters and trace.
+func (c *Cluster) RecordSend(now units.Seconds, src, dst int, bytes units.Bytes) {
+	c.counters.Rank(c.checkRank(src)).AddMessage(bytes)
+	c.tracer.Send(now, src, dst, bytes)
+}
+
+// RecordNetworkBusy attributes network occupancy time to a rank.
+func (c *Cluster) RecordNetworkBusy(rank int, d units.Seconds) {
+	c.counters.Rank(c.checkRank(rank)).NetworkTime += d
+	c.noteEnd(c.kernel.Now())
+}
+
+// NoteWall extends the measured makespan to t if t is later than every
+// completion recorded so far. The MPI runtime calls it when ranks finish
+// or unblock so that pure waiting (no counter activity) still counts
+// toward wall time.
+func (c *Cluster) NoteWall(t units.Seconds) { c.noteEnd(t) }
+
+// Wall returns the latest completion time recorded by any operation — the
+// measured makespan Tp of the run.
+func (c *Cluster) Wall() units.Seconds { return c.wallEnd }

@@ -1,0 +1,358 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// testSpec returns a small machine with round numbers so timing and
+// energy can be checked by hand:
+// tc = 1ns (CPI 2 @ 2GHz), tm = 100ns, Ts = 10µs, Tb = 1ns/B,
+// ΔPc = 20W, ΔPm = 10W, Psys-idle = 100W.
+func testSpec() machine.Spec {
+	return machine.Spec{
+		Name:             "test",
+		CPI:              2,
+		BaseFreq:         2 * units.GHz,
+		Frequencies:      []units.Hertz{1 * units.GHz, 2 * units.GHz},
+		Gamma:            2,
+		Tm:               100 * units.Nanosecond,
+		Ts:               10 * units.Microsecond,
+		Tb:               1 * units.Nanosecond,
+		DeltaPcBase:      20,
+		DeltaPm:          10,
+		PcIdle:           40,
+		PmIdle:           20,
+		PioIdle:          10,
+		Pother:           30,
+		IdleFreqFraction: 0,
+		CoresPerNode:     4,
+		Nodes:            16,
+	}
+}
+
+func mustNew(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Spec: testSpec(), Ranks: 0}); err == nil {
+		t.Error("ranks=0 must fail")
+	}
+	if _, err := New(Config{Spec: testSpec(), Ranks: 1, Alpha: 1.5}); err == nil {
+		t.Error("alpha>1 must fail")
+	}
+	if _, err := New(Config{Spec: testSpec(), Ranks: 1, Alpha: -0.1}); err == nil {
+		t.Error("alpha<0 must fail")
+	}
+	// Scatter placement: at most one rank per node.
+	if _, err := New(Config{Spec: testSpec(), Ranks: 17}); err == nil {
+		t.Error("17 ranks on 16 nodes (scatter) must fail")
+	}
+	// Pack placement: up to cores×nodes ranks.
+	if _, err := New(Config{Spec: testSpec(), Ranks: 64, Placement: Pack}); err != nil {
+		t.Errorf("64 ranks packed on 16×4 cores should fit: %v", err)
+	}
+	if _, err := New(Config{Spec: testSpec(), Ranks: 65, Placement: Pack}); err == nil {
+		t.Error("65 ranks packed on 64 cores must fail")
+	}
+	// PerRank length mismatch.
+	if _, err := New(Config{Ranks: 2, PerRank: []machine.Params{testSpec().MustBase()}}); err == nil {
+		t.Error("PerRank length mismatch must fail")
+	}
+}
+
+func TestComputeTiming(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	c.Kernel().Spawn("r0", func(p *sim.Proc) {
+		// 1000 on-chip ops at 1ns + 10 memory accesses at 100ns
+		// = 1µs + 1µs = 2µs (α=1, no noise).
+		c.Compute(p, 0, 1000, 10)
+	})
+	if err := c.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * units.Microsecond
+	if math.Abs(float64(c.Wall()-want)) > 1e-15 {
+		t.Fatalf("wall = %v, want %v", c.Wall(), want)
+	}
+	ctr := c.Counters().Rank(0)
+	if ctr.OnChipOps != 1000 || ctr.OffChipAccesses != 10 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+}
+
+func TestComputeOverlapAlpha(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1, Alpha: 0.5})
+	c.Kernel().Spawn("r0", func(p *sim.Proc) {
+		c.Compute(p, 0, 1000, 10) // un-overlapped 2µs
+	})
+	if err := c.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Wall time is α-scaled…
+	want := 1 * units.Microsecond
+	if math.Abs(float64(c.Wall()-want)) > 1e-15 {
+		t.Fatalf("wall = %v, want %v", c.Wall(), want)
+	}
+	// …but busy-time attribution is not (Eq. 9 uses full Won·tc).
+	ctr := c.Counters().Rank(0)
+	if math.Abs(float64(ctr.ComputeTime-1*units.Microsecond)) > 1e-15 {
+		t.Fatalf("compute busy = %v, want 1µs", ctr.ComputeTime)
+	}
+	if math.Abs(float64(ctr.MemoryTime-1*units.Microsecond)) > 1e-15 {
+		t.Fatalf("memory busy = %v, want 1µs", ctr.MemoryTime)
+	}
+}
+
+func TestEnergyEquation(t *testing.T) {
+	// Single rank: E = Psys-idle·αT + ΔPc·Wc·tc + ΔPm·Wm·tm (Eq. 13).
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	c.Kernel().Spawn("r0", func(p *sim.Proc) {
+		c.Compute(p, 0, 1e9, 1e6) // 1s CPU + 0.1s memory
+	})
+	if err := c.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.TrueEnergy()
+	wantWall := units.Seconds(1.1)
+	if math.Abs(float64(rep.Wall-wantWall)) > 1e-12 {
+		t.Fatalf("wall = %v, want %v", rep.Wall, wantWall)
+	}
+	wantIdle := 100.0 * 1.1 // Psys-idle=100W
+	wantCPU := 20.0 * 1.0
+	wantMem := 10.0 * 0.1
+	if math.Abs(float64(rep.Idle)-wantIdle) > 1e-9 ||
+		math.Abs(float64(rep.CPU)-wantCPU) > 1e-9 ||
+		math.Abs(float64(rep.Memory)-wantMem) > 1e-9 {
+		t.Fatalf("report %v, want idle=%g cpu=%g mem=%g", rep, wantIdle, wantCPU, wantMem)
+	}
+	wantTotal := wantIdle + wantCPU + wantMem
+	if math.Abs(float64(rep.Total)-wantTotal) > 1e-9 {
+		t.Fatalf("total = %v, want %g", rep.Total, wantTotal)
+	}
+}
+
+func TestParallelIdleEnergyScalesWithRanks(t *testing.T) {
+	// Eq. 15: every provisioned processor burns idle power for the whole
+	// parallel wall time.
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 4})
+	for r := 0; r < 4; r++ {
+		r := r
+		c.Kernel().Spawn("rank", func(p *sim.Proc) {
+			c.Compute(p, r, 1e9, 0) // each busy 1s
+		})
+	}
+	if err := c.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.TrueEnergy()
+	wantIdle := 4 * 100.0 * 1.0
+	if math.Abs(float64(rep.Idle)-wantIdle) > 1e-9 {
+		t.Fatalf("idle = %v, want %g", rep.Idle, wantIdle)
+	}
+	wantCPU := 4 * 20.0
+	if math.Abs(float64(rep.CPU)-wantCPU) > 1e-9 {
+		t.Fatalf("cpu = %v, want %g", rep.CPU, wantCPU)
+	}
+}
+
+func TestIOAccess(t *testing.T) {
+	spec := testSpec()
+	spec.DeltaPio = 5
+	c := mustNew(t, Config{Spec: spec, Ranks: 1})
+	c.Kernel().Spawn("r0", func(p *sim.Proc) {
+		c.IOAccess(p, 0, 2)
+	})
+	if err := c.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.TrueEnergy()
+	if math.Abs(float64(rep.IO)-10) > 1e-9 { // 5W × 2s
+		t.Fatalf("IO energy = %v, want 10 J", rep.IO)
+	}
+}
+
+func TestMessageTimePlacement(t *testing.T) {
+	// Packed: ranks 0,1 share node 0; rank 4 is on node 1.
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 8, Placement: Pack})
+	if c.NodeOf(0) != 0 || c.NodeOf(3) != 0 || c.NodeOf(4) != 1 {
+		t.Fatalf("unexpected placement: %d %d %d", c.NodeOf(0), c.NodeOf(3), c.NodeOf(4))
+	}
+	inter := c.MessageTime(0, 4, 1000)
+	intra := c.MessageTime(0, 1, 1000)
+	if intra >= inter {
+		t.Fatalf("intra-node (%v) should beat inter-node (%v)", intra, inter)
+	}
+	self := c.MessageTime(0, 0, 1000)
+	if self >= intra {
+		t.Fatalf("self-copy (%v) should beat intra-node (%v)", self, intra)
+	}
+	// Scatter: every rank has its own node.
+	s := mustNew(t, Config{Spec: testSpec(), Ranks: 8})
+	if s.NodeOf(1) != 1 {
+		t.Fatalf("scatter should place rank 1 on node 1, got %d", s.NodeOf(1))
+	}
+	// Inter-node time follows Hockney.
+	want := netmodel.Hockney{Ts: 10 * units.Microsecond, Tb: 1 * units.Nanosecond}.MessageTime(1000)
+	if got := s.MessageTime(0, 1, 1000); math.Abs(float64(got-want)) > 1e-15 {
+		t.Fatalf("inter-node time %v, want %v", got, want)
+	}
+}
+
+func TestSharedNICSerialisesPacked(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 8, Placement: Pack})
+	if c.TxNIC(0) != c.TxNIC(1) {
+		t.Fatal("packed ranks 0,1 must share a NIC")
+	}
+	if c.TxNIC(0) == c.TxNIC(4) {
+		t.Fatal("ranks on different nodes must not share a NIC")
+	}
+	if c.TxNIC(0) == c.RxNIC(0) {
+		t.Fatal("NICs are full duplex: tx and rx are distinct channels")
+	}
+	// Two packed ranks sending off-node at once share the tx channel.
+	ends := make([]units.Seconds, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		c.Kernel().Spawn("sender", func(p *sim.Proc) {
+			d := c.MessageTime(i, 4+i, 1000)
+			_, end := c.ReserveLink(p.Now(), i, 4+i, d)
+			p.SleepUntil(end)
+			ends[i] = p.Now()
+		})
+	}
+	if err := c.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ends[0] == ends[1] {
+		t.Fatalf("concurrent sends from one node must serialise: %v", ends)
+	}
+}
+
+func TestNoiseDeterminism(t *testing.T) {
+	run := func(seed int64) units.Joules {
+		c := mustNew(t, Config{Spec: testSpec(), Ranks: 2, Noise: DefaultNoise(), Seed: seed})
+		for r := 0; r < 2; r++ {
+			r := r
+			c.Kernel().Spawn("rank", func(p *sim.Proc) {
+				c.Compute(p, r, 1e7, 1e4)
+			})
+		}
+		if err := c.Kernel().Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.MeasuredEnergy().Total
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed, different measured energy: %v vs %v", a, b)
+	}
+	if c := run(8); c == a {
+		t.Fatal("different seeds should (almost surely) differ")
+	}
+}
+
+func TestMeasuredVsTrueEnergyNoiseMagnitude(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1, Noise: DefaultNoise(), Seed: 3})
+	c.Kernel().Spawn("r0", func(p *sim.Proc) {
+		c.Compute(p, 0, 1e8, 1e5)
+	})
+	if err := c.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	truth := c.TrueEnergy().Total
+	meas := c.MeasuredEnergy().Total
+	rel := math.Abs(float64(meas-truth)) / float64(truth)
+	if rel > 0.15 {
+		t.Fatalf("meter noise %.1f%% implausibly large", rel*100)
+	}
+	// Repeated measurements differ (fresh meter noise) but stay close.
+	again := c.MeasuredEnergy().Total
+	if again == meas {
+		t.Fatal("repeated measurements should draw fresh noise")
+	}
+}
+
+func TestBusySnapshotAndIdlePower(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 2})
+	c.Kernel().Spawn("r0", func(p *sim.Proc) { c.Compute(p, 0, 1e6, 0) })
+	c.Kernel().Spawn("r1", func(p *sim.Proc) { c.Compute(p, 1, 0, 1e4) })
+	if err := c.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	all := c.BusySnapshot()
+	if math.Abs(float64(all.Compute-1*units.Millisecond)) > 1e-12 {
+		t.Fatalf("compute busy = %v, want 1ms", all.Compute)
+	}
+	if math.Abs(float64(all.Memory-1*units.Millisecond)) > 1e-12 {
+		t.Fatalf("memory busy = %v, want 1ms", all.Memory)
+	}
+	only0 := c.BusySnapshot(0)
+	if only0.Memory != 0 {
+		t.Fatalf("rank 0 memory busy = %v, want 0", only0.Memory)
+	}
+	delta := all.BusySince(only0)
+	if math.Abs(float64(delta.Memory-1*units.Millisecond)) > 1e-12 {
+		t.Fatalf("delta memory = %v", delta.Memory)
+	}
+	if got := c.IdlePower(); got != 200 {
+		t.Fatalf("idle power = %v, want 200 W", got)
+	}
+	if got := c.IdlePower(0); got != 100 {
+		t.Fatalf("idle power rank0 = %v, want 100 W", got)
+	}
+}
+
+func TestHeterogeneousPerRank(t *testing.T) {
+	fast := testSpec().MustBase()
+	slow, err := testSpec().AtFrequency(1 * units.GHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mustNew(t, Config{Ranks: 2, PerRank: []machine.Params{fast, slow}})
+	var endFast, endSlow units.Seconds
+	c.Kernel().Spawn("fast", func(p *sim.Proc) {
+		c.Compute(p, 0, 1e6, 0)
+		endFast = p.Now()
+	})
+	c.Kernel().Spawn("slow", func(p *sim.Proc) {
+		c.Compute(p, 1, 1e6, 0)
+		endSlow = p.Now()
+	})
+	if err := c.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !(endSlow > endFast) {
+		t.Fatalf("slow rank (%v) should finish after fast rank (%v)", endSlow, endFast)
+	}
+	if math.Abs(float64(endSlow)/float64(endFast)-2) > 1e-9 {
+		t.Fatalf("1GHz should take 2× as long as 2GHz: %v vs %v", endSlow, endFast)
+	}
+}
+
+func TestNegativeWorkloadPanics(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	c.Kernel().Spawn("bad", func(p *sim.Proc) { c.Compute(p, 0, -1, 0) })
+	if err := c.Kernel().Run(); err == nil {
+		t.Fatal("negative workload must abort the run")
+	}
+}
+
+func TestRankOutOfRangePanics(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	c.Kernel().Spawn("bad", func(p *sim.Proc) { c.Compute(p, 5, 1, 0) })
+	if err := c.Kernel().Run(); err == nil {
+		t.Fatal("out-of-range rank must abort the run")
+	}
+}

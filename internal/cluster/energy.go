@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// EnergyReport is the PowerPack-style whole-run energy measurement,
+// decomposed per component as in the paper's Eq. 7–9: total system energy
+// is idle-state energy over the whole execution plus the active deltas of
+// each component.
+type EnergyReport struct {
+	Wall  units.Seconds // measured makespan (α-overlapped wall time)
+	Ranks int
+
+	Idle   units.Joules // Σ_ranks Psys-idle · Wall
+	CPU    units.Joules // Σ_ranks ΔPc · compute busy time
+	Memory units.Joules // Σ_ranks ΔPm · memory busy time
+	IO     units.Joules // Σ_ranks ΔPio · I/O busy time
+	Total  units.Joules
+}
+
+// String renders the report.
+func (e EnergyReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wall=%v ranks=%d total=%v", e.Wall, e.Ranks, e.Total)
+	fmt.Fprintf(&b, " (idle=%v cpu=%v mem=%v io=%v)", e.Idle, e.CPU, e.Memory, e.IO)
+	return b.String()
+}
+
+// energy computes the exact (noise-free) energy decomposition.
+func (c *Cluster) energy() EnergyReport {
+	rep := EnergyReport{Wall: c.wallEnd, Ranks: c.Ranks()}
+	for r := 0; r < c.Ranks(); r++ {
+		mp := c.params[r]
+		ctr := c.counters.Rank(r)
+		rep.Idle += units.Energy(mp.PsysIdle, rep.Wall)
+		rep.CPU += units.Energy(mp.DeltaPc, ctr.ComputeTime)
+		rep.Memory += units.Energy(mp.DeltaPm, ctr.MemoryTime)
+		rep.IO += units.Energy(mp.DeltaPio, ctr.IOTime)
+	}
+	rep.Total = rep.Idle + rep.CPU + rep.Memory + rep.IO
+	return rep
+}
+
+// TrueEnergy returns the exact energy decomposition with no meter noise.
+func (c *Cluster) TrueEnergy() EnergyReport { return c.energy() }
+
+// MeasuredEnergy returns the energy a PowerPack-style meter would report:
+// the exact decomposition perturbed by the configured power-measurement
+// jitter. Repeated calls draw fresh meter noise (like repeated physical
+// measurements); the sequence is deterministic in the cluster seed.
+func (c *Cluster) MeasuredEnergy() EnergyReport {
+	rep := c.energy()
+	j := c.cfg.Noise.PowerJitter
+	if j > 0 {
+		perturb := func(e units.Joules) units.Joules {
+			f := 1 + j*c.measRNG.NormFloat64()
+			if f < 0 {
+				f = 0
+			}
+			return units.Joules(float64(e) * f)
+		}
+		rep.Idle = perturb(rep.Idle)
+		rep.CPU = perturb(rep.CPU)
+		rep.Memory = perturb(rep.Memory)
+		rep.IO = perturb(rep.IO)
+		rep.Total = rep.Idle + rep.CPU + rep.Memory + rep.IO
+	}
+	return rep
+}
+
+// ComponentBusy is a snapshot of cumulative per-component busy time summed
+// over a set of ranks; the power profiler differentiates consecutive
+// snapshots to obtain component utilisation within a sampling window.
+type ComponentBusy struct {
+	Compute units.Seconds
+	Memory  units.Seconds
+	IO      units.Seconds
+	Network units.Seconds
+}
+
+// BusySince subtracts an earlier snapshot.
+func (b ComponentBusy) BusySince(prev ComponentBusy) ComponentBusy {
+	return ComponentBusy{
+		Compute: b.Compute - prev.Compute,
+		Memory:  b.Memory - prev.Memory,
+		IO:      b.IO - prev.IO,
+		Network: b.Network - prev.Network,
+	}
+}
+
+// BusySnapshot sums cumulative busy times over the given ranks (all ranks
+// if none specified) as of the current virtual time, attributing
+// in-progress operations pro rata so power sampling sees sustained load
+// rather than spikes at operation boundaries.
+func (c *Cluster) BusySnapshot(ranks ...int) ComponentBusy {
+	if len(ranks) == 0 {
+		ranks = make([]int, c.Ranks())
+		for i := range ranks {
+			ranks[i] = i
+		}
+	}
+	now := c.kernel.Now()
+	var b ComponentBusy
+	for _, r := range ranks {
+		ctr := c.counters.Rank(c.checkRank(r))
+		b.Compute += ctr.ComputeTime
+		b.Memory += ctr.MemoryTime
+		b.IO += ctr.IOTime
+		b.Network += ctr.NetworkTime
+		if fl := c.inflight[r]; fl.end > fl.start {
+			frac := float64(now-fl.start) / float64(fl.end-fl.start)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			b.Compute += units.Seconds(frac * float64(fl.dc))
+			b.Memory += units.Seconds(frac * float64(fl.dm))
+			b.IO += units.Seconds(frac * float64(fl.dio))
+		}
+	}
+	return b
+}
+
+// IdlePower sums Psys-idle over the given ranks (all if none specified).
+func (c *Cluster) IdlePower(ranks ...int) units.Watts {
+	if len(ranks) == 0 {
+		ranks = make([]int, c.Ranks())
+		for i := range ranks {
+			ranks[i] = i
+		}
+	}
+	var w units.Watts
+	for _, r := range ranks {
+		w += c.params[c.checkRank(r)].PsysIdle
+	}
+	return w
+}

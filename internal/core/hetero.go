@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// HeteroPrediction is the heterogeneous-cluster extension of the model
+// (paper §VII future work): each of the p processors may have its own
+// machine vector. The workload is still distributed evenly (1/p shares),
+// so the parallel wall time is set by the slowest processor while faster
+// ones idle-wait — exactly the load-imbalance penalty a heterogeneous
+// deployment pays without workload rebalancing.
+type HeteroPrediction struct {
+	Tp       units.Seconds // makespan: slowest processor's share time
+	Ep       units.Joules
+	E1       units.Joules // sequential run on the reference (fastest) node
+	EEF      float64
+	EE       float64
+	RefIndex int // index of the reference node used for E1
+}
+
+// PredictHetero evaluates the model over per-processor machine vectors.
+// The sequential baseline E1 runs on the fastest node (lowest tc), the
+// natural choice a user would make for a single-node run.
+func PredictHetero(params []machine.Params, w Workload) (HeteroPrediction, error) {
+	if len(params) == 0 {
+		return HeteroPrediction{}, errors.New("core: no machine vectors")
+	}
+	if len(params) != w.P {
+		return HeteroPrediction{}, fmt.Errorf("core: %d machine vectors for p=%d", len(params), w.P)
+	}
+	if err := w.Validate(); err != nil {
+		return HeteroPrediction{}, err
+	}
+	ref := 0
+	for i, mp := range params {
+		if err := mp.Validate(); err != nil {
+			return HeteroPrediction{}, fmt.Errorf("core: processor %d: %w", i, err)
+		}
+		if mp.Tc < params[ref].Tc {
+			ref = i
+		}
+	}
+
+	// Sequential baseline on the reference node.
+	seq := Model{Machine: params[ref], App: w}
+	e1 := seq.SequentialEnergy()
+
+	// Per-processor share times; the makespan is the maximum.
+	p := float64(w.P)
+	var tp units.Seconds
+	shares := make([]units.Seconds, w.P)
+	for i, mp := range params {
+		compute := (w.WOn + w.DWOn) / p * float64(mp.Tc)
+		mem := (w.WOff + w.DWOff) / p * float64(mp.Tm)
+		comm := (w.M*float64(mp.Ts) + w.B*float64(mp.Tb)) / p
+		io := float64(w.TIO) / p
+		shares[i] = units.Seconds(w.Alpha * (compute + mem + comm + io))
+		if shares[i] > tp {
+			tp = shares[i]
+		}
+	}
+
+	// Energy: every processor burns idle power for the whole makespan;
+	// active deltas burn for each processor's own busy share.
+	var ep units.Joules
+	for i, mp := range params {
+		ep += units.Energy(mp.PsysIdle, tp)
+		ep += units.Energy(mp.DeltaPc, units.Seconds((w.WOn+w.DWOn)/p*float64(mp.Tc)))
+		ep += units.Energy(mp.DeltaPm, units.Seconds((w.WOff+w.DWOff)/p*float64(mp.Tm)))
+		ep += units.Energy(mp.DeltaPio, units.Seconds(float64(w.TIO)/p))
+		_ = i
+	}
+
+	if e1 <= 0 {
+		return HeteroPrediction{}, errors.New("core: degenerate sequential energy")
+	}
+	eef := float64(ep-e1) / float64(e1)
+	return HeteroPrediction{
+		Tp:       tp,
+		Ep:       ep,
+		E1:       e1,
+		EEF:      eef,
+		EE:       1 / (1 + eef),
+		RefIndex: ref,
+	}, nil
+}

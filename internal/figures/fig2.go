@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// efficiencyScaling measures performance efficiency T1/(p·Tp) and energy
+// efficiency E1/Ep for a kernel across a p sweep — the measured curves of
+// Figures 2a/2b.
+func efficiencyScaling(kf kernelFactory, spec machine.Spec, ps []int, seed int64) (Figure, error) {
+	base, err := kf.measured(spec, 1, seed)
+	if err != nil {
+		return Figure{}, err
+	}
+	var body, csv strings.Builder
+	fmt.Fprintf(&body, "%6s %14s %14s %12s %12s\n", "p", "time", "energy", "perf-eff", "energy-eff")
+	fmt.Fprintf(&body, "%6d %14v %14v %12.4f %12.4f\n", 1, base.Makespan, base.Measured.Total, 1.0, 1.0)
+	csv.WriteString("p,time_s,energy_j,perf_eff,energy_eff\n")
+	fmt.Fprintf(&csv, "1,%g,%g,1,1\n", float64(base.Makespan), float64(base.Measured.Total))
+
+	fig := Figure{}
+	for _, p := range ps {
+		if p == 1 {
+			continue
+		}
+		rep, err := kf.measured(spec, p, seed+int64(p))
+		if err != nil {
+			return Figure{}, err
+		}
+		pe := float64(base.Makespan) / (float64(p) * float64(rep.Makespan))
+		ee, err := core.MeasuredEE(base.Measured.Total, rep.Measured.Total)
+		if err != nil {
+			return Figure{}, err
+		}
+		fmt.Fprintf(&body, "%6d %14v %14v %12.4f %12.4f\n", p, rep.Makespan, rep.Measured.Total, pe, ee)
+		fmt.Fprintf(&csv, "%d,%g,%g,%g,%g\n", p, float64(rep.Makespan), float64(rep.Measured.Total), pe, ee)
+	}
+	fig.Body = body.String()
+	fig.CSV = csv.String()
+	return fig, nil
+}
+
+// Fig2a reproduces Figure 2a: FT performance and energy efficiency on
+// SystemG for p = 1…32. Expected shape: performance efficiency degrades
+// gently; energy efficiency degrades faster (every added node burns idle
+// power for the whole run).
+func Fig2a(o Options) (Figure, error) {
+	ps := []int{1, 2, 4, 8, 16, 32}
+	if o.Quick {
+		ps = []int{1, 2, 4, 8}
+	}
+	fig, err := efficiencyScaling(ftFactory(o, ps[len(ps)-1]), machine.SystemG(), ps, o.Seed+100)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.ID, fig.Title = "2a", "FT performance and energy efficiency vs p (SystemG)"
+	fig.Notes = append(fig.Notes,
+		"paper: FT scales reasonably well; energy efficiency sits below performance efficiency and both decay with p")
+	return fig, nil
+}
+
+// Fig2b reproduces Figure 2b: CG performance and energy efficiency on
+// SystemG. The paper notes CG's efficiency dip at intermediate scale.
+func Fig2b(o Options) (Figure, error) {
+	ps := []int{1, 2, 4, 8, 16, 32}
+	if o.Quick {
+		ps = []int{1, 2, 4, 8}
+	}
+	fig, err := efficiencyScaling(cgFactory(o), machine.SystemG(), ps, o.Seed+200)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig.ID, fig.Title = "2b", "CG performance and energy efficiency vs p (SystemG)"
+	fig.Notes = append(fig.Notes,
+		"paper: CG drops off sharply by 16 CPUs; communication/redundancy overheads dominate earlier than FT")
+	return fig, nil
+}

@@ -1,0 +1,174 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/npb"
+	"repro/internal/units"
+)
+
+// validation runs a kernel serially and at parallelism p, builds the
+// application-dependent vector from the measured counters and trace
+// (paper §IV.B), predicts the parallel energy with Eq. 15 and compares
+// against the PowerPack-style measurement.
+type validation struct {
+	Kernel    string
+	P         int
+	Predicted units.Joules
+	Measured  units.Joules
+	Error     float64 // relative
+	EEPred    float64
+	EEMeas    float64
+}
+
+func validateKernel(kf kernelFactory, spec machine.Spec, p int, seed int64) (validation, error) {
+	seq, err := kf.measured(spec, 1, seed)
+	if err != nil {
+		return validation{}, fmt.Errorf("%s serial: %w", kf.name, err)
+	}
+	par, err := kf.measured(spec, p, seed+1)
+	if err != nil {
+		return validation{}, fmt.Errorf("%s p=%d: %w", kf.name, p, err)
+	}
+
+	mp, err := spec.Base()
+	if err != nil {
+		return validation{}, err
+	}
+	w := app.FromCounters(kf.alpha,
+		seq.Totals.OnChipOps, seq.Totals.OffChipAccesses,
+		par.Totals.OnChipOps, par.Totals.OffChipAccesses,
+		par.M, par.B, p)
+	pred, err := core.Model{Machine: mp, App: w}.Predict()
+	if err != nil {
+		return validation{}, fmt.Errorf("%s model: %w", kf.name, err)
+	}
+
+	eeMeas, err := core.MeasuredEE(seq.Measured.Total, par.Measured.Total)
+	if err != nil {
+		return validation{}, err
+	}
+	return validation{
+		Kernel:    kf.name,
+		P:         p,
+		Predicted: pred.Ep,
+		Measured:  par.Measured.Total,
+		Error:     core.PredictionError(pred.Ep, par.Measured.Total),
+		EEPred:    pred.EE,
+		EEMeas:    eeMeas,
+	}, nil
+}
+
+// Fig3 reproduces Figure 3: predicted vs measured energy for the NPB
+// suite on Dori at p = 4; the paper reports > 95 % accuracy for every
+// code.
+func Fig3(o Options) (Figure, error) {
+	dori := machine.Dori()
+	const p = 4
+	factories := []kernelFactory{
+		epFactory(o),
+		ftFactory(o, p),
+		cgFactory(o),
+		isFactory(o),
+		mgFactory(o, 0),
+	}
+	var body, csv strings.Builder
+	fmt.Fprintf(&body, "%6s %16s %16s %10s %10s %10s\n",
+		"bench", "measured", "predicted", "error", "EE meas", "EE pred")
+	csv.WriteString("bench,measured_j,predicted_j,rel_error,ee_meas,ee_pred\n")
+	var notes []string
+	var worst float64
+	for i, kf := range factories {
+		v, err := validateKernel(kf, dori, p, o.Seed+300+int64(i)*17)
+		if err != nil {
+			return Figure{}, err
+		}
+		fmt.Fprintf(&body, "%6s %16v %16v %9.2f%% %10.4f %10.4f\n",
+			v.Kernel, v.Measured, v.Predicted, v.Error*100, v.EEMeas, v.EEPred)
+		fmt.Fprintf(&csv, "%s,%g,%g,%g,%g,%g\n",
+			v.Kernel, float64(v.Measured), float64(v.Predicted), v.Error, v.EEMeas, v.EEPred)
+		if v.Error > worst {
+			worst = v.Error
+		}
+	}
+	notes = append(notes, fmt.Sprintf("worst-case error %.2f%% (paper: all codes within 5%%)", worst*100))
+	return Figure{
+		ID:    "3",
+		Title: "Energy model validation on Dori (p=4): actual vs estimated",
+		Body:  body.String(),
+		CSV:   csv.String(),
+		Notes: notes,
+	}, nil
+}
+
+// Fig4 reproduces Figure 4: the average prediction error rate of EP, FT
+// and CG on SystemG over p ∈ {1, 2, 4, …, 128} (paper: EP 6.64 %,
+// FT 4.99 %, CG 8.31 %). p = 1 contributes the serial-model sanity check
+// (predicted E1 vs measured sequential energy).
+func Fig4(o Options) (Figure, error) {
+	sysG := machine.SystemG()
+	ps := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	if o.Quick {
+		ps = []int{1, 2, 4, 8}
+	}
+	maxP := ps[len(ps)-1]
+	factories := []kernelFactory{epFactory(o), ftFactory(o, maxP), cgFactory(o)}
+
+	var body, csv strings.Builder
+	fmt.Fprintf(&body, "%6s %12s   per-p errors\n", "bench", "avg error")
+	csv.WriteString("bench,p,rel_error\n")
+	var notes []string
+	for i, kf := range factories {
+		var sum float64
+		var detail []string
+		for _, p := range ps {
+			var relErr float64
+			if p == 1 {
+				// Serial check: predict E1 from the sequential counters.
+				seq, err := kf.measured(sysG, 1, o.Seed+400+int64(i)*31)
+				if err != nil {
+					return Figure{}, err
+				}
+				mp, err := sysG.Base()
+				if err != nil {
+					return Figure{}, err
+				}
+				w := app.FromCounters(kf.alpha,
+					seq.Totals.OnChipOps, seq.Totals.OffChipAccesses,
+					seq.Totals.OnChipOps, seq.Totals.OffChipAccesses, 0, 0, 1)
+				pred, err := core.Model{Machine: mp, App: w}.Predict()
+				if err != nil {
+					return Figure{}, err
+				}
+				relErr = core.PredictionError(pred.E1, seq.Measured.Total)
+			} else {
+				v, err := validateKernel(kf, sysG, p, o.Seed+400+int64(i)*31+int64(p))
+				if err != nil {
+					return Figure{}, err
+				}
+				relErr = v.Error
+			}
+			sum += relErr
+			detail = append(detail, fmt.Sprintf("p%d:%.1f%%", p, relErr*100))
+			fmt.Fprintf(&csv, "%s,%d,%g\n", kf.name, p, relErr)
+		}
+		avg := sum / float64(len(ps))
+		fmt.Fprintf(&body, "%6s %11.2f%%   %s\n", kf.name, avg*100, strings.Join(detail, " "))
+		notes = append(notes, fmt.Sprintf("%s average error %.2f%%", kf.name, avg*100))
+	}
+	notes = append(notes, "paper: EP 6.64%, FT 4.99%, CG 8.31% — CG worst due to its memory model")
+	return Figure{
+		ID:    "4",
+		Title: "Average prediction error on SystemG across p",
+		Body:  body.String(),
+		CSV:   csv.String(),
+		Notes: notes,
+	}, nil
+}
+
+// npbReportEnergy exists for tests needing direct access to the helper.
+func npbReportEnergy(rep npb.Report) units.Joules { return rep.Measured.Total }

@@ -1,0 +1,180 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§II, §IV, §V) against the simulated clusters. Each
+// generator returns a Figure with rendered text and CSV data; cmd/figures
+// prints them and the root bench harness exercises them one per
+// testing.B benchmark (see DESIGN.md §4 for the experiment index).
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/machine"
+	"repro/internal/npb"
+	"repro/internal/npb/cg"
+	"repro/internal/npb/ep"
+	"repro/internal/npb/ft"
+	"repro/internal/npb/is"
+	"repro/internal/npb/mg"
+)
+
+// Options tunes figure generation.
+type Options struct {
+	// Quick selects reduced problem sizes and rank counts so the whole
+	// set regenerates in seconds (used by tests); the default (false)
+	// uses the paper-scale sweeps.
+	Quick bool
+	// Seed drives all simulated measurement noise.
+	Seed int64
+}
+
+// Figure is one regenerated experiment.
+type Figure struct {
+	ID    string
+	Title string
+	Body  string // rendered table / chart
+	CSV   string // machine-readable series
+	Notes []string
+}
+
+// String renders the figure for terminal output.
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Figure %s: %s ==\n%s", f.ID, f.Title, f.Body)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Generator produces one figure.
+type Generator struct {
+	ID   string
+	Name string
+	Run  func(Options) (Figure, error)
+}
+
+// All returns every generator in paper order.
+func All() []Generator {
+	return []Generator{
+		{"2a", "FT performance vs energy efficiency", Fig2a},
+		{"2b", "CG performance vs energy efficiency", Fig2b},
+		{"3", "Model validation on Dori (p=4)", Fig3},
+		{"4", "Average prediction error on SystemG (p=1..128)", Fig4},
+		{"5", "FT EE surface over (p, f)", Fig5},
+		{"6", "FT EE surface over (p, n)", Fig6},
+		{"7", "EP EE surface over (p, f)", Fig7},
+		{"8", "CG and EP EE surfaces over (p, n)", Fig8},
+		{"9", "CG EE surface over (p, f)", Fig9},
+		{"10", "Component power profile of parallel FFT", Fig10},
+	}
+}
+
+// ByID returns the generator for a figure id.
+func ByID(id string) (Generator, error) {
+	for _, g := range All() {
+		if g.ID == id {
+			return g, nil
+		}
+	}
+	return Generator{}, fmt.Errorf("figures: unknown figure %q", id)
+}
+
+// --- shared measurement helpers ---
+
+// kernelFactory builds a fresh kernel instance per run (kernels are
+// single-use).
+type kernelFactory struct {
+	name  string
+	alpha float64
+	mk    func() (npb.Kernel, error)
+}
+
+// measured runs the factory's kernel at parallelism p on the given spec
+// with hardware-like noise and returns the report.
+func (kf kernelFactory) measured(spec machine.Spec, p int, seed int64) (npb.Report, error) {
+	k, err := kf.mk()
+	if err != nil {
+		return npb.Report{}, err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Spec:  spec,
+		Ranks: p,
+		Alpha: kf.alpha,
+		Noise: cluster.DefaultNoise(),
+		Seed:  seed,
+	})
+	if err != nil {
+		return npb.Report{}, err
+	}
+	return npb.Run(cl, k)
+}
+
+// ftFactory returns an FT factory sized for the sweep's largest p.
+func ftFactory(o Options, maxP int) kernelFactory {
+	cfg := ft.Config{NX: 64, NY: 32, NZ: 64, Iters: 4}
+	if o.Quick {
+		cfg = ft.Config{NX: 16, NY: 16, NZ: 16, Iters: 2}
+	}
+	if maxP > cfg.NX {
+		cfg.NX = maxP
+		cfg.NZ = maxP
+	}
+	return kernelFactory{
+		name:  "FT",
+		alpha: 0.86,
+		mk:    func() (npb.Kernel, error) { return ft.New(cfg) },
+	}
+}
+
+func epFactory(o Options) kernelFactory {
+	cfg := ep.Config{LogPairs: 20}
+	if o.Quick {
+		cfg.LogPairs = 14
+	}
+	return kernelFactory{
+		name:  "EP",
+		alpha: 0.93,
+		mk:    func() (npb.Kernel, error) { return ep.New(cfg) },
+	}
+}
+
+func cgFactory(o Options) kernelFactory {
+	// Class-W order amortises collective latency against per-step memory
+	// work; smaller orders leave CG latency-bound and inflate the
+	// straggler-driven model error well past the paper's.
+	cfg := cg.Config{N: 7040, Nonzer: 6, NIter: 3}
+	if o.Quick {
+		cfg = cg.Config{N: 512, Nonzer: 4, NIter: 2}
+	}
+	return kernelFactory{
+		name:  "CG",
+		alpha: 0.85,
+		mk:    func() (npb.Kernel, error) { return cg.New(cfg) },
+	}
+}
+
+func isFactory(o Options) kernelFactory {
+	cfg := is.Config{LogKeys: 18, LogMaxKey: 14, Buckets: 512, Iters: 3}
+	if o.Quick {
+		cfg = is.Config{LogKeys: 13, LogMaxKey: 10, Buckets: 128, Iters: 2}
+	}
+	return kernelFactory{
+		name:  "IS",
+		alpha: 0.90,
+		mk:    func() (npb.Kernel, error) { return is.New(cfg) },
+	}
+}
+
+func mgFactory(o Options, depth int) kernelFactory {
+	cfg := mg.Config{Size: 32, Cycles: 3, Depth: depth}
+	if o.Quick {
+		cfg = mg.Config{Size: 16, Cycles: 2, Depth: depth}
+	}
+	return kernelFactory{
+		name:  "MG",
+		alpha: 0.88,
+		mk:    func() (npb.Kernel, error) { return mg.New(cfg) },
+	}
+}

@@ -1,0 +1,6 @@
+package figures
+
+import "fmt"
+
+// fmtSscan wraps fmt.Sscan for terse CSV field parsing in tests.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }

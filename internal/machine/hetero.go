@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Heterogeneous describes a cluster composed of several node types, the
+// extension the paper lists as future work (§VII: "we want to extend the
+// current model to heterogeneous systems"). Ranks are assigned to node
+// groups in order: group 0 supplies its MaxRanks() ranks first, then
+// group 1, and so on.
+type Heterogeneous struct {
+	Name   string
+	Groups []Spec
+}
+
+// Validate checks every group.
+func (h Heterogeneous) Validate() error {
+	if len(h.Groups) == 0 {
+		return errors.New("machine: heterogeneous cluster needs at least one group")
+	}
+	for i, g := range h.Groups {
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("machine: group %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MaxRanks is the total core count over all groups.
+func (h Heterogeneous) MaxRanks() int {
+	total := 0
+	for _, g := range h.Groups {
+		total += g.MaxRanks()
+	}
+	return total
+}
+
+// SpecForRank returns the node-type spec that hosts the given rank.
+func (h Heterogeneous) SpecForRank(rank int) (Spec, error) {
+	if rank < 0 {
+		return Spec{}, fmt.Errorf("machine: negative rank %d", rank)
+	}
+	for _, g := range h.Groups {
+		if rank < g.MaxRanks() {
+			return g, nil
+		}
+		rank -= g.MaxRanks()
+	}
+	return Spec{}, fmt.Errorf("machine: rank beyond cluster capacity (%d cores)", h.MaxRanks())
+}
+
+// ParamsForRanks evaluates the machine vector for each of the first p
+// ranks at frequency f (f is snapped per group to remain on each group's
+// continuous model; groups with different base frequencies yield different
+// tc and ΔPc, which is exactly the heterogeneity the extended model needs).
+func (h Heterogeneous) ParamsForRanks(p int, f units.Hertz) ([]Params, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("machine: need at least one rank, got %d", p)
+	}
+	if p > h.MaxRanks() {
+		return nil, fmt.Errorf("machine: %d ranks exceed cluster capacity %d", p, h.MaxRanks())
+	}
+	out := make([]Params, p)
+	for r := 0; r < p; r++ {
+		spec, err := h.SpecForRank(r)
+		if err != nil {
+			return nil, err
+		}
+		fr := f
+		if fr > spec.MaxFrequency() {
+			fr = spec.MaxFrequency()
+		}
+		if fr < spec.MinFrequency() {
+			fr = spec.MinFrequency()
+		}
+		out[r], err = spec.AtFrequency(fr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,274 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, spec := range Presets() {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("preset %s: %v", name, err)
+		}
+	}
+}
+
+func TestAtFrequencyTc(t *testing.T) {
+	s := SystemG()
+	p, err := s.AtFrequency(s.BaseFreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTc := units.Seconds(s.CPI / float64(s.BaseFreq))
+	if math.Abs(float64(p.Tc-wantTc)) > 1e-18 {
+		t.Fatalf("Tc = %v, want %v", p.Tc, wantTc)
+	}
+	if got := p.CPI(); math.Abs(got-s.CPI) > 1e-12 {
+		t.Fatalf("CPI round trip = %v, want %v", got, s.CPI)
+	}
+}
+
+func TestPowerFrequencyLaw(t *testing.T) {
+	s := SystemG()
+	base, err := s.Base()
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := s.AtFrequency(s.BaseFreq / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ΔPc ∝ f^γ with γ=2: half frequency → quarter power.
+	want := float64(base.DeltaPc) / 4
+	if math.Abs(float64(half.DeltaPc)-want) > 1e-9 {
+		t.Fatalf("ΔPc at f/2 = %v, want %v (γ=2)", half.DeltaPc, want)
+	}
+	// Memory parameters must not scale with CPU frequency.
+	if half.Tm != base.Tm || half.DeltaPm != base.DeltaPm {
+		t.Fatalf("memory parameters must be frequency independent")
+	}
+	// Network parameters must not scale with CPU frequency.
+	if half.Ts != base.Ts || half.Tb != base.Tb {
+		t.Fatalf("network parameters must be frequency independent")
+	}
+}
+
+func TestIdlePowerScalesPartially(t *testing.T) {
+	s := SystemG()
+	base := s.MustBase()
+	low, err := s.AtFrequency(s.MinFrequency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.PcIdle >= base.PcIdle {
+		t.Fatalf("idle CPU power should drop at lower frequency: %v !< %v", low.PcIdle, base.PcIdle)
+	}
+	if low.PcIdle <= 0 {
+		t.Fatalf("idle CPU power must remain positive, got %v", low.PcIdle)
+	}
+	// The static fraction bounds the drop.
+	floor := float64(base.PcIdle) * (1 - s.IdleFreqFraction)
+	if float64(low.PcIdle) < floor-1e-9 {
+		t.Fatalf("idle power %v fell below static floor %v", low.PcIdle, floor)
+	}
+}
+
+func TestPsysIdleIsComponentSum(t *testing.T) {
+	for name, s := range Presets() {
+		p := s.MustBase()
+		sum := p.PcIdle + p.PmIdle + p.PioIdle + p.Pother
+		if math.Abs(float64(sum-p.PsysIdle)) > 1e-9 {
+			t.Errorf("%s: PsysIdle %v != component sum %v", name, p.PsysIdle, sum)
+		}
+	}
+}
+
+func TestAtFrequencyRejectsNonPositive(t *testing.T) {
+	s := SystemG()
+	if _, err := s.AtFrequency(0); err == nil {
+		t.Fatal("want error for f=0")
+	}
+	if _, err := s.AtFrequency(-1); err == nil {
+		t.Fatal("want error for negative f")
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	good := SystemG()
+
+	bad := good
+	bad.Gamma = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("gamma < 1 must be rejected (power ∝ f^γ, γ≥1)")
+	}
+
+	bad = good
+	bad.Frequencies = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty DVFS ladder must be rejected")
+	}
+
+	bad = good
+	bad.Frequencies = []units.Hertz{2.8 * units.GHz, 2.0 * units.GHz}
+	if err := bad.Validate(); err == nil {
+		t.Error("descending ladder must be rejected")
+	}
+
+	bad = good
+	bad.Frequencies = []units.Hertz{2.0 * units.GHz}
+	if err := bad.Validate(); err == nil {
+		t.Error("ladder missing base frequency must be rejected")
+	}
+
+	bad = good
+	bad.CPI = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero CPI must be rejected")
+	}
+
+	bad = good
+	bad.IdleFreqFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("IdleFreqFraction > 1 must be rejected")
+	}
+}
+
+func TestNearestFrequency(t *testing.T) {
+	s := SystemG()
+	cases := []struct {
+		in, want units.Hertz
+	}{
+		{2.75 * units.GHz, 2.8 * units.GHz},
+		{2.05 * units.GHz, 2.0 * units.GHz},
+		{1.0 * units.GHz, 2.0 * units.GHz},
+		{9.9 * units.GHz, 2.8 * units.GHz},
+	}
+	for _, c := range cases {
+		if got := s.NearestFrequency(c.in); got != c.want {
+			t.Errorf("NearestFrequency(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMaxRanks(t *testing.T) {
+	s := SystemG()
+	if got, want := s.MaxRanks(), 8*325; got != want {
+		t.Fatalf("MaxRanks = %d, want %d", got, want)
+	}
+}
+
+// Property: ΔPc is monotone non-decreasing in f for any γ ≥ 1, and tc is
+// strictly decreasing in f.
+func TestFrequencyMonotonicityProperty(t *testing.T) {
+	s := SystemG()
+	f := func(rawGamma, rawF1, rawF2 float64) bool {
+		gamma := 1 + math.Mod(math.Abs(rawGamma), 3) // γ ∈ [1,4)
+		f1 := units.Hertz(1e9 * (1 + math.Mod(math.Abs(rawF1), 3)))
+		f2 := units.Hertz(1e9 * (1 + math.Mod(math.Abs(rawF2), 3)))
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		if f1 == f2 {
+			return true
+		}
+		spec := s
+		spec.Gamma = gamma
+		p1, err1 := spec.AtFrequency(f1)
+		p2, err2 := spec.AtFrequency(f2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p1.DeltaPc <= p2.DeltaPc && p1.Tc > p2.Tc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetBandwidth(t *testing.T) {
+	p := SystemG().MustBase()
+	bw := float64(p.NetBandwidth())
+	want := 5e9 // 0.2 ns/byte → 5 GB/s
+	if math.Abs(bw-want)/want > 1e-9 {
+		t.Fatalf("bandwidth = %g B/s, want %g", bw, want)
+	}
+	p.Tb = 0
+	if !math.IsInf(float64(p.NetBandwidth()), 1) {
+		t.Fatal("zero Tb should imply infinite bandwidth")
+	}
+}
+
+func TestHeterogeneous(t *testing.T) {
+	h := Heterogeneous{
+		Name:   "mixed",
+		Groups: []Spec{Dori(), SystemG()},
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := h.MaxRanks(), Dori().MaxRanks()+SystemG().MaxRanks(); got != want {
+		t.Fatalf("MaxRanks = %d, want %d", got, want)
+	}
+	// Rank 0 lands on Dori, rank 32 (Dori has 8×4=32 cores) on SystemG.
+	s0, err := h.SpecForRank(0)
+	if err != nil || s0.Name != "Dori" {
+		t.Fatalf("rank 0 spec = %v, %v; want Dori", s0.Name, err)
+	}
+	s32, err := h.SpecForRank(32)
+	if err != nil || s32.Name != "SystemG" {
+		t.Fatalf("rank 32 spec = %v, %v; want SystemG", s32.Name, err)
+	}
+	if _, err := h.SpecForRank(-1); err == nil {
+		t.Fatal("negative rank must error")
+	}
+	if _, err := h.SpecForRank(h.MaxRanks()); err == nil {
+		t.Fatal("rank beyond capacity must error")
+	}
+
+	params, err := h.ParamsForRanks(40, 2.8*units.GHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != 40 {
+		t.Fatalf("got %d params", len(params))
+	}
+	// Dori caps at 2.0 GHz, so rank 0 must have been clamped.
+	if params[0].Freq != 2.0*units.GHz {
+		t.Fatalf("rank 0 freq = %v, want clamped to 2 GHz", params[0].Freq)
+	}
+	if params[39].Freq != 2.8*units.GHz {
+		t.Fatalf("rank 39 freq = %v, want 2.8 GHz", params[39].Freq)
+	}
+
+	if _, err := h.ParamsForRanks(0, 2*units.GHz); err == nil {
+		t.Fatal("p=0 must error")
+	}
+	if _, err := h.ParamsForRanks(h.MaxRanks()+1, 2*units.GHz); err == nil {
+		t.Fatal("p beyond capacity must error")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := SystemG().MustBase()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Tc = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero tc must be rejected")
+	}
+	bad = good
+	bad.PsysIdle = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero idle power must be rejected")
+	}
+	bad = good
+	bad.DeltaPc = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative ΔPc must be rejected")
+	}
+}

@@ -1,0 +1,270 @@
+// Package microbench derives the machine-dependent parameter vector by
+// running measurement kernels against the simulated cluster — the same
+// methodology the paper uses on real hardware (§IV.B):
+//
+//	tc  — Perfmon-style: time a known on-chip instruction count
+//	tm  — LMbench lat_mem_rd-style: time a known memory access count
+//	Ts, Tb — MPPTest-style: ping-pong across message sizes, linear fit
+//	Psys-idle, ΔPc, ΔPm — PowerPack-style: power-profile idle and loaded
+//	γ   — power-law fit of ΔPc(f) over the DVFS ladder (Eq. 20)
+//
+// Because measurement runs use dedicated clusters with α = 1 (a pure
+// benchmark overlaps nothing), the recovered values are the raw machine
+// parameters the model consumes.
+package microbench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fit"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Result is one derived machine vector plus fit diagnostics.
+type Result struct {
+	Freq     units.Hertz
+	Tc       units.Seconds
+	CPI      float64
+	Tm       units.Seconds
+	Ts       units.Seconds
+	Tb       units.Seconds
+	PsysIdle units.Watts
+	DeltaPc  units.Watts
+	DeltaPm  units.Watts
+	Gamma    float64 // 0 unless MeasureGamma ran
+}
+
+// String renders the vector like the paper's Table 1 instantiations.
+func (r Result) String() string {
+	return fmt.Sprintf("f=%v: tc=%v (CPI %.3f) tm=%v Ts=%v Tb=%v Psys-idle=%v ΔPc=%v ΔPm=%v γ=%.2f",
+		r.Freq, r.Tc, r.CPI, r.Tm, r.Ts, r.Tb, r.PsysIdle, r.DeltaPc, r.DeltaPm, r.Gamma)
+}
+
+func newCluster(spec machine.Spec, f units.Hertz, ranks int, seed int64, noisy bool) (*cluster.Cluster, error) {
+	cfg := cluster.Config{Spec: spec, Freq: f, Ranks: ranks, Alpha: 1, Seed: seed}
+	if noisy {
+		cfg.Noise = cluster.DefaultNoise()
+	}
+	return cluster.New(cfg)
+}
+
+// MeasureTc times a known on-chip instruction count on an otherwise idle
+// rank (Perfmon methodology): tc = T/W.
+func MeasureTc(spec machine.Spec, f units.Hertz, seed int64, noisy bool) (units.Seconds, error) {
+	const work = 1e8
+	cl, err := newCluster(spec, f, 1, seed, noisy)
+	if err != nil {
+		return 0, err
+	}
+	cl.Kernel().Spawn("tc-probe", func(p *sim.Proc) {
+		cl.Compute(p, 0, work, 0)
+	})
+	if err := cl.Kernel().Run(); err != nil {
+		return 0, err
+	}
+	return units.Seconds(float64(cl.Wall()) / work), nil
+}
+
+// MeasureTm times a known off-chip access count (lat_mem_rd methodology):
+// tm = T/W.
+func MeasureTm(spec machine.Spec, f units.Hertz, seed int64, noisy bool) (units.Seconds, error) {
+	const accesses = 1e6
+	cl, err := newCluster(spec, f, 1, seed, noisy)
+	if err != nil {
+		return 0, err
+	}
+	cl.Kernel().Spawn("tm-probe", func(p *sim.Proc) {
+		cl.Compute(p, 0, 0, accesses)
+	})
+	if err := cl.Kernel().Run(); err != nil {
+		return 0, err
+	}
+	return units.Seconds(float64(cl.Wall()) / accesses), nil
+}
+
+// PingPongSizes is the MPPTest sweep used by MeasureNetwork.
+var PingPongSizes = []units.Bytes{0, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+// MeasureNetwork runs an MPPTest-style ping-pong between two ranks for
+// each message size, repeats times each, and fits time = Ts + m·Tb.
+func MeasureNetwork(spec machine.Spec, f units.Hertz, repeats int, seed int64, noisy bool) (ts, tb units.Seconds, err error) {
+	if repeats < 1 {
+		return 0, 0, fmt.Errorf("microbench: repeats %d < 1", repeats)
+	}
+	var sizes, times []float64
+	for _, size := range PingPongSizes {
+		cl, err := newCluster(spec, f, 2, seed, noisy)
+		if err != nil {
+			return 0, 0, err
+		}
+		rt := mpi.New(cl)
+		var elapsed units.Seconds
+		runErr := rt.Run(func(r *mpi.Rank) {
+			start := r.Now()
+			for i := 0; i < repeats; i++ {
+				if r.Rank() == 0 {
+					r.Send(1, 1, nil, size)
+					r.Recv(1, 2)
+				} else {
+					r.Recv(0, 1)
+					r.Send(0, 2, nil, size)
+				}
+			}
+			if r.Rank() == 0 {
+				elapsed = r.Now() - start
+			}
+		})
+		if runErr != nil {
+			return 0, 0, runErr
+		}
+		// Each repeat carries two one-way messages.
+		sizes = append(sizes, float64(size))
+		times = append(times, float64(elapsed)/float64(2*repeats))
+	}
+	a, b, err := fit.Linear(sizes, times)
+	if err != nil {
+		return 0, 0, err
+	}
+	return units.Seconds(a), units.Seconds(b), nil
+}
+
+// MeasurePower profiles an idle window and a compute-loaded window and a
+// memory-loaded window, recovering Psys-idle, ΔPc and ΔPm (PowerPack
+// methodology).
+func MeasurePower(spec machine.Spec, f units.Hertz, seed int64) (idle, dPc, dPm units.Watts, err error) {
+	const window = units.Seconds(1.0)
+	run := func(onChip, offChip float64) (units.Watts, error) {
+		cl, err := newCluster(spec, f, 1, seed, false)
+		if err != nil {
+			return 0, err
+		}
+		cl.Kernel().Spawn("load", func(p *sim.Proc) {
+			if onChip == 0 && offChip == 0 {
+				p.Sleep(window)
+				cl.NoteWall(p.Now()) // idle window still counts as wall time
+				return
+			}
+			cl.Compute(p, 0, onChip, offChip)
+		})
+		if err := cl.Kernel().Run(); err != nil {
+			return 0, err
+		}
+		rep := cl.TrueEnergy()
+		return units.Power(rep.Total, rep.Wall), nil
+	}
+	mp, err := spec.AtFrequency(f)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	idle, err = run(0, 0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	// Full CPU load for the window.
+	busyOps := float64(window) / float64(mp.Tc)
+	loaded, err := run(busyOps, 0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dPc = loaded - idle
+	// Full memory load for the window.
+	busyAcc := float64(window) / float64(mp.Tm)
+	memLoaded, err := run(0, busyAcc)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dPm = memLoaded - idle
+	return idle, dPc, dPm, nil
+}
+
+// MeasureGamma sweeps the DVFS ladder, measures ΔPc at every frequency
+// and fits the power law ΔPc = c·f^γ (Eq. 20).
+func MeasureGamma(spec machine.Spec, seed int64) (float64, error) {
+	var fs, dps []float64
+	for _, f := range spec.Frequencies {
+		_, dPc, _, err := MeasurePower(spec, f, seed)
+		if err != nil {
+			return 0, err
+		}
+		fs = append(fs, float64(f))
+		dps = append(dps, float64(dPc))
+	}
+	_, gamma, err := fit.PowerLaw(fs, dps)
+	if err != nil {
+		return 0, err
+	}
+	return gamma, nil
+}
+
+// DeriveMachineVector runs the full measurement suite at frequency f and
+// assembles the machine vector the way the paper does before applying the
+// model. With noisy=false the result matches spec.AtFrequency(f) exactly
+// (a property the tests assert); with noise it matches approximately,
+// like real measurements.
+func DeriveMachineVector(spec machine.Spec, f units.Hertz, seed int64, noisy bool, withGamma bool) (Result, error) {
+	tc, err := MeasureTc(spec, f, seed, noisy)
+	if err != nil {
+		return Result{}, err
+	}
+	tm, err := MeasureTm(spec, f, seed+1, noisy)
+	if err != nil {
+		return Result{}, err
+	}
+	ts, tb, err := MeasureNetwork(spec, f, 4, seed+2, noisy)
+	if err != nil {
+		return Result{}, err
+	}
+	idle, dPc, dPm, err := MeasurePower(spec, f, seed+3)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Freq: f, Tc: tc, CPI: float64(tc) * float64(f),
+		Tm: tm, Ts: ts, Tb: tb,
+		PsysIdle: idle, DeltaPc: dPc, DeltaPm: dPm,
+	}
+	if withGamma {
+		gamma, err := MeasureGamma(spec, seed+4)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Gamma = gamma
+	}
+	return res, nil
+}
+
+// Params converts the measured result into a machine.Params vector,
+// borrowing the idle-power split from the spec (a physical meter sees
+// only the node total; the split is calibration metadata).
+func (r Result) Params(spec machine.Spec) (machine.Params, error) {
+	ref, err := spec.AtFrequency(r.Freq)
+	if err != nil {
+		return machine.Params{}, err
+	}
+	p := machine.Params{
+		Freq:     r.Freq,
+		Tc:       r.Tc,
+		Tm:       r.Tm,
+		Ts:       r.Ts,
+		Tb:       r.Tb,
+		DeltaPc:  r.DeltaPc,
+		DeltaPm:  r.DeltaPm,
+		DeltaPio: ref.DeltaPio,
+		PcIdle:   ref.PcIdle,
+		PmIdle:   ref.PmIdle,
+		PioIdle:  ref.PioIdle,
+		Pother:   ref.Pother,
+	}
+	// Scale the component split so it sums to the measured node idle.
+	scale := float64(r.PsysIdle) / float64(ref.PsysIdle)
+	p.PcIdle = units.Watts(float64(p.PcIdle) * scale)
+	p.PmIdle = units.Watts(float64(p.PmIdle) * scale)
+	p.PioIdle = units.Watts(float64(p.PioIdle) * scale)
+	p.Pother = units.Watts(float64(p.Pother) * scale)
+	p.PsysIdle = p.PcIdle + p.PmIdle + p.PioIdle + p.Pother
+	return p, p.Validate()
+}

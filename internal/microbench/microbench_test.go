@@ -1,0 +1,161 @@
+package microbench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+func spec() machine.Spec { return machine.SystemG() }
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestMeasureTcNoiseless(t *testing.T) {
+	s := spec()
+	truth := s.MustBase()
+	tc, err := MeasureTc(s, s.BaseFreq, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(float64(tc), float64(truth.Tc)) > 1e-9 {
+		t.Fatalf("tc = %v, want %v", tc, truth.Tc)
+	}
+}
+
+func TestMeasureTmNoiseless(t *testing.T) {
+	s := spec()
+	truth := s.MustBase()
+	tm, err := MeasureTm(s, s.BaseFreq, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(float64(tm), float64(truth.Tm)) > 1e-9 {
+		t.Fatalf("tm = %v, want %v", tm, truth.Tm)
+	}
+}
+
+func TestMeasureNetworkRecoversHockney(t *testing.T) {
+	s := spec()
+	truth := s.MustBase()
+	ts, tb, err := MeasureNetwork(s, s.BaseFreq, 3, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(float64(ts), float64(truth.Ts)) > 1e-6 {
+		t.Fatalf("Ts = %v, want %v", ts, truth.Ts)
+	}
+	if relErr(float64(tb), float64(truth.Tb)) > 1e-6 {
+		t.Fatalf("Tb = %v, want %v", tb, truth.Tb)
+	}
+}
+
+func TestMeasureNetworkNoisyIsClose(t *testing.T) {
+	s := spec()
+	truth := s.MustBase()
+	ts, tb, err := MeasureNetwork(s, s.BaseFreq, 8, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(float64(ts), float64(truth.Ts)) > 0.25 {
+		t.Fatalf("noisy Ts = %v too far from %v", ts, truth.Ts)
+	}
+	if relErr(float64(tb), float64(truth.Tb)) > 0.25 {
+		t.Fatalf("noisy Tb = %v too far from %v", tb, truth.Tb)
+	}
+}
+
+func TestMeasurePower(t *testing.T) {
+	s := spec()
+	truth := s.MustBase()
+	idle, dPc, dPm, err := MeasurePower(s, s.BaseFreq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(float64(idle), float64(truth.PsysIdle)) > 1e-9 {
+		t.Fatalf("idle = %v, want %v", idle, truth.PsysIdle)
+	}
+	if relErr(float64(dPc), float64(truth.DeltaPc)) > 1e-9 {
+		t.Fatalf("ΔPc = %v, want %v", dPc, truth.DeltaPc)
+	}
+	if relErr(float64(dPm), float64(truth.DeltaPm)) > 1e-9 {
+		t.Fatalf("ΔPm = %v, want %v", dPm, truth.DeltaPm)
+	}
+}
+
+func TestMeasureGamma(t *testing.T) {
+	s := spec()
+	gamma, err := MeasureGamma(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gamma-s.Gamma) > 1e-6 {
+		t.Fatalf("γ = %g, want %g", gamma, s.Gamma)
+	}
+}
+
+func TestDeriveMachineVectorMatchesSpec(t *testing.T) {
+	s := spec()
+	truth := s.MustBase()
+	res, err := DeriveMachineVector(s, s.BaseFreq, 1, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(float64(res.Tc), float64(truth.Tc)) > 1e-6 ||
+		relErr(float64(res.Tm), float64(truth.Tm)) > 1e-6 ||
+		relErr(float64(res.Ts), float64(truth.Ts)) > 1e-6 ||
+		relErr(float64(res.Tb), float64(truth.Tb)) > 1e-6 ||
+		relErr(float64(res.PsysIdle), float64(truth.PsysIdle)) > 1e-6 ||
+		relErr(float64(res.DeltaPc), float64(truth.DeltaPc)) > 1e-6 {
+		t.Fatalf("derived %v does not match spec-truth vector", res)
+	}
+	if math.Abs(res.Gamma-s.Gamma) > 1e-6 {
+		t.Fatalf("γ = %g, want %g", res.Gamma, s.Gamma)
+	}
+	if math.Abs(res.CPI-s.CPI) > 1e-6 {
+		t.Fatalf("CPI = %g, want %g", res.CPI, s.CPI)
+	}
+	// Round-trip into a usable machine.Params.
+	p, err := res.Params(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr(float64(p.PsysIdle), float64(truth.PsysIdle)) > 1e-6 {
+		t.Fatalf("params idle %v, want %v", p.PsysIdle, truth.PsysIdle)
+	}
+	if res.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestDeriveAtLowFrequency(t *testing.T) {
+	s := spec()
+	f := 2.0 * units.GHz
+	truth, err := s.AtFrequency(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DeriveMachineVector(s, f, 7, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tc scales as CPI/f; ΔPc as f^γ — the derivation must see both.
+	if relErr(float64(res.Tc), float64(truth.Tc)) > 1e-6 {
+		t.Fatalf("tc at 2GHz = %v, want %v", res.Tc, truth.Tc)
+	}
+	if relErr(float64(res.DeltaPc), float64(truth.DeltaPc)) > 1e-6 {
+		t.Fatalf("ΔPc at 2GHz = %v, want %v", res.DeltaPc, truth.DeltaPc)
+	}
+}
+
+func TestMeasureNetworkValidation(t *testing.T) {
+	if _, _, err := MeasureNetwork(spec(), spec().BaseFreq, 0, 1, false); err == nil {
+		t.Fatal("repeats=0 must be rejected")
+	}
+}

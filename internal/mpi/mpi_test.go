@@ -1,0 +1,552 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// testSpec: tc=1ns, tm=100ns, Ts=10µs, Tb=1ns/B — round numbers for
+// hand-checked timing.
+func testSpec() machine.Spec {
+	return machine.Spec{
+		Name:             "test",
+		CPI:              2,
+		BaseFreq:         2 * units.GHz,
+		Frequencies:      []units.Hertz{1 * units.GHz, 2 * units.GHz},
+		Gamma:            2,
+		Tm:               100 * units.Nanosecond,
+		Ts:               10 * units.Microsecond,
+		Tb:               1 * units.Nanosecond,
+		DeltaPcBase:      20,
+		DeltaPm:          10,
+		PcIdle:           40,
+		PmIdle:           20,
+		PioIdle:          10,
+		Pother:           30,
+		IdleFreqFraction: 0,
+		CoresPerNode:     4,
+		Nodes:            64,
+	}
+}
+
+func newRuntime(t *testing.T, ranks int) *Runtime {
+	t.Helper()
+	cl, err := cluster.New(cluster.Config{Spec: testSpec(), Ranks: ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cl)
+}
+
+// mu guards cross-rank assertion state in tests (ranks run one at a time,
+// but the guard documents intent and keeps `go test -race` quiet if the
+// kernel ever changes).
+var mu sync.Mutex
+
+func TestSendRecvData(t *testing.T) {
+	rt := newRuntime(t, 2)
+	var got []float64
+	err := rt.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 7, []float64{1, 2, 3}, 24)
+		} else {
+			msg := r.Recv(0, 7)
+			mu.Lock()
+			got = msg.Data.([]float64)
+			mu.Unlock()
+			if msg.Src != 0 || msg.Tag != 7 || msg.Bytes != 24 {
+				t.Errorf("msg meta = %+v", msg)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("payload = %v", got)
+	}
+}
+
+func TestSendTiming(t *testing.T) {
+	rt := newRuntime(t, 2)
+	var sendEnd units.Seconds
+	err := rt.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, 0, nil, 1000)
+			mu.Lock()
+			sendEnd = r.Now()
+			mu.Unlock()
+		} else {
+			r.Recv(0, 0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hockney: 10µs + 1000 B × 1 ns = 11µs.
+	want := 11 * units.Microsecond
+	if math.Abs(float64(sendEnd-want)) > 1e-15 {
+		t.Fatalf("send completed at %v, want %v", sendEnd, want)
+	}
+}
+
+func TestRecvBlocksUntilArrival(t *testing.T) {
+	rt := newRuntime(t, 2)
+	var recvAt units.Seconds
+	err := rt.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Compute(10000, 0) // 10µs of work before sending
+			r.Send(1, 0, 42, 100)
+		} else {
+			msg := r.Recv(0, 0)
+			mu.Lock()
+			recvAt = r.Now()
+			mu.Unlock()
+			if msg.Data.(int) != 42 {
+				t.Errorf("data = %v", msg.Data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10µs compute + 10µs Ts + 100ns = 20.1µs.
+	want := units.Seconds(20.1 * 1e-6)
+	if math.Abs(float64(recvAt-want)) > 1e-12 {
+		t.Fatalf("recv at %v, want %v", recvAt, want)
+	}
+}
+
+func TestRecvAnySource(t *testing.T) {
+	rt := newRuntime(t, 3)
+	srcs := map[int]bool{}
+	err := rt.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 2; i++ {
+				msg := r.Recv(AnySource, 5)
+				mu.Lock()
+				srcs[msg.Src] = true
+				mu.Unlock()
+			}
+		} else {
+			r.Send(0, 5, r.Rank(), 8)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srcs[1] || !srcs[2] {
+		t.Fatalf("sources seen: %v", srcs)
+	}
+}
+
+func TestMessageOrderingFIFO(t *testing.T) {
+	rt := newRuntime(t, 2)
+	var order []int
+	err := rt.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < 5; i++ {
+				r.Send(1, 3, i, 8)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				msg := r.Recv(0, 3)
+				mu.Lock()
+				order = append(order, msg.Data.(int))
+				mu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("non-FIFO delivery: %v", order)
+		}
+	}
+}
+
+func TestDeadlockReportNamesRanks(t *testing.T) {
+	rt := newRuntime(t, 2)
+	err := rt.Run(func(r *Rank) {
+		r.Recv(1-r.Rank(), 9) // both wait, nobody sends
+	})
+	if err == nil {
+		t.Fatal("want deadlock error")
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		p := p
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			rt := newRuntime(t, p)
+			after := make([]units.Seconds, p)
+			err := rt.Run(func(r *Rank) {
+				// Stagger arrival: rank i works i·10µs.
+				r.Compute(float64(r.Rank())*10000, 0)
+				r.Barrier()
+				after[r.Rank()] = r.Now()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Nobody may leave the barrier before the slowest arrival.
+			slowest := units.Seconds(float64(p-1) * 10e-6)
+			for i, ts := range after {
+				if ts < slowest {
+					t.Errorf("rank %d left barrier at %v before slowest arrival %v", i, ts, slowest)
+				}
+			}
+		})
+	}
+}
+
+func TestBcastAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8, 13} {
+		for root := 0; root < p; root += 2 {
+			rt := newRuntime(t, p)
+			got := make([]int, p)
+			err := rt.Run(func(r *Rank) {
+				payload := -1
+				if r.Rank() == root {
+					payload = 4242
+				}
+				v := r.Bcast(root, payload, 8)
+				got[r.Rank()] = v.(int)
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+			for i, v := range got {
+				if v != 4242 {
+					t.Fatalf("p=%d root=%d rank=%d got %d", p, root, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 6, 8, 9} {
+		rt := newRuntime(t, p)
+		var rootVal float64
+		err := rt.Run(func(r *Rank) {
+			v, isRoot := Reduce(r, 0, float64(r.Rank()+1), 8, func(a, b float64) float64 { return a + b })
+			if isRoot {
+				mu.Lock()
+				rootVal = v
+				mu.Unlock()
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		want := float64(p*(p+1)) / 2
+		if rootVal != want {
+			t.Fatalf("p=%d: sum = %g, want %g", p, rootVal, want)
+		}
+	}
+}
+
+func TestAllreduceSumAllRanksAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 16} {
+		rt := newRuntime(t, p)
+		got := make([]float64, p)
+		err := rt.Run(func(r *Rank) {
+			v := Allreduce(r, float64(r.Rank()+1), 8, func(a, b float64) float64 { return a + b })
+			got[r.Rank()] = v
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		want := float64(p*(p+1)) / 2
+		for i, v := range got {
+			if v != want {
+				t.Fatalf("p=%d rank=%d: %g, want %g", p, i, v, want)
+			}
+		}
+	}
+}
+
+func TestAllreduceVector(t *testing.T) {
+	p := 5
+	rt := newRuntime(t, p)
+	// combine must be pure: fresh storage, no mutation of either input.
+	combine := func(dst, src []float64) []float64 {
+		out := make([]float64, len(dst))
+		for i := range dst {
+			out[i] = dst[i] + src[i]
+		}
+		return out
+	}
+	var result []float64
+	err := rt.Run(func(r *Rank) {
+		vec := []float64{float64(r.Rank()), 1}
+		out := Allreduce(r, vec, 16, combine)
+		if r.Rank() == 0 {
+			mu.Lock()
+			result = out
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result[0] != 10 || result[1] != 5 { // 0+1+2+3+4 and 5×1
+		t.Fatalf("vector allreduce = %v", result)
+	}
+}
+
+func TestAllgatherRing(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		rt := newRuntime(t, p)
+		boards := make([][]int, p)
+		err := rt.Run(func(r *Rank) {
+			out := Allgather(r, r.Rank()*100, 8)
+			boards[r.Rank()] = out
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for rank, b := range boards {
+			for i, v := range b {
+				if v != i*100 {
+					t.Fatalf("p=%d rank=%d slot %d = %d", p, rank, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoallData(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 6, 8} {
+		rt := newRuntime(t, p)
+		results := make([][]int, p)
+		err := rt.Run(func(r *Rank) {
+			send := make([]int, p)
+			for i := range send {
+				send[i] = r.Rank()*1000 + i // value encodes (from, to)
+			}
+			results[r.Rank()] = Alltoall(r, send, 8)
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for rank, res := range results {
+			for from, v := range res {
+				if want := from*1000 + rank; v != want {
+					t.Fatalf("p=%d rank=%d from=%d: got %d want %d", p, rank, from, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoallPairwiseTiming(t *testing.T) {
+	// On a noiseless cluster with scatter placement, pairwise exchange of
+	// m-byte blocks among p ranks costs (p−1)(Ts + m·Tb) plus the local
+	// self-copy — the cost the paper assumes for FT (§V.B.1).
+	p := 8
+	m := units.Bytes(4096)
+	rt := newRuntime(t, p)
+	err := rt.Run(func(r *Rank) {
+		send := make([]int, p)
+		Alltoall(r, send, m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	per := float64(spec.Ts) + float64(m)*float64(spec.Tb)
+	selfCopy := (float64(spec.Ts)/10 + float64(m)*float64(spec.Tb)/10) / 2
+	want := float64(p-1)*per + selfCopy
+	got := float64(rt.Makespan())
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("alltoall makespan = %gs, want %gs", got, want)
+	}
+}
+
+func TestAlltoallvData(t *testing.T) {
+	p := 4
+	rt := newRuntime(t, p)
+	results := make([][][]int, p)
+	err := rt.Run(func(r *Rank) {
+		send := make([][]int, p)
+		sizes := make([]units.Bytes, p)
+		for i := range send {
+			send[i] = make([]int, r.Rank()+1) // rank r sends blocks of size r+1
+			for j := range send[i] {
+				send[i][j] = r.Rank()
+			}
+			sizes[i] = units.Bytes(8 * (r.Rank() + 1))
+		}
+		results[r.Rank()] = Alltoallv(r, send, sizes)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, res := range results {
+		for from, block := range res {
+			if len(block) != from+1 {
+				t.Fatalf("rank=%d from=%d block len %d, want %d", rank, from, len(block), from+1)
+			}
+			for _, v := range block {
+				if v != from {
+					t.Fatalf("rank=%d from=%d: bad content %v", rank, from, block)
+				}
+			}
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		rt := newRuntime(t, p)
+		var rootView []string
+		err := rt.Run(func(r *Rank) {
+			out := Gather(r, 0, fmt.Sprintf("blk%d", r.Rank()), 16)
+			if r.Rank() == 0 {
+				mu.Lock()
+				rootView = out
+				mu.Unlock()
+			} else if out != nil {
+				t.Errorf("non-root rank %d got non-nil gather result", r.Rank())
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i, s := range rootView {
+			if s != fmt.Sprintf("blk%d", i) {
+				t.Fatalf("p=%d: slot %d = %q", p, i, s)
+			}
+		}
+	}
+}
+
+func TestTracerCountsMessages(t *testing.T) {
+	p := 4
+	rt := newRuntime(t, p)
+	err := rt.Run(func(r *Rank) {
+		send := make([]int, p)
+		Alltoall(r, send, 100)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairwise exchange: each rank sends p−1 blocks of 100 B.
+	wantM := int64(p * (p - 1))
+	if got := rt.Cluster().Tracer().Messages(); got != wantM {
+		t.Fatalf("M = %d, want %d", got, wantM)
+	}
+	wantB := float64(p*(p-1)) * 100
+	if got := rt.Cluster().Tracer().Bytes(); got != wantB {
+		t.Fatalf("B = %g, want %g", got, wantB)
+	}
+}
+
+func TestCountersMatchTracer(t *testing.T) {
+	p := 4
+	rt := newRuntime(t, p)
+	err := rt.Run(func(r *Rank) {
+		r.Compute(1000, 10)
+		Allreduce(r, 1.0, 8, func(a, b float64) float64 { return a + b })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := rt.Cluster().Counters().Total()
+	if total.Messages != rt.Cluster().Tracer().Messages() {
+		t.Fatalf("counter M %d != tracer M %d", total.Messages, rt.Cluster().Tracer().Messages())
+	}
+	if total.BytesSent != rt.Cluster().Tracer().Bytes() {
+		t.Fatalf("counter B %g != tracer B %g", total.BytesSent, rt.Cluster().Tracer().Bytes())
+	}
+	if total.OnChipOps != float64(p)*1000 {
+		t.Fatalf("on-chip total %g", total.OnChipOps)
+	}
+}
+
+func TestRuntimeRunTwiceFails(t *testing.T) {
+	rt := newRuntime(t, 1)
+	if err := rt.Run(func(r *Rank) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(func(r *Rank) {}); err == nil {
+		t.Fatal("second Run must fail")
+	}
+}
+
+func TestFinishTimesAndMakespan(t *testing.T) {
+	rt := newRuntime(t, 3)
+	err := rt.Run(func(r *Rank) {
+		r.Compute(float64(r.Rank()+1)*1e6, 0) // 1ms, 2ms, 3ms
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := rt.FinishTimes()
+	if !(ft[0] < ft[1] && ft[1] < ft[2]) {
+		t.Fatalf("finish times not increasing: %v", ft)
+	}
+	if rt.Makespan() != ft[2] {
+		t.Fatalf("makespan %v != slowest rank %v", rt.Makespan(), ft[2])
+	}
+	if w := rt.Cluster().Wall(); math.Abs(float64(w-ft[2])) > 1e-15 {
+		t.Fatalf("cluster wall %v != makespan %v", w, ft[2])
+	}
+}
+
+func TestPhaseTracing(t *testing.T) {
+	rt := newRuntime(t, 2)
+	err := rt.Run(func(r *Rank) {
+		r.PhaseEnter("compute")
+		r.Compute(1e6, 0)
+		r.PhaseExit("compute")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each rank spends 1ms in "compute"; phase time sums over ranks.
+	got := rt.Cluster().Tracer().PhaseTime("compute")
+	if math.Abs(float64(got-2*units.Millisecond)) > 1e-12 {
+		t.Fatalf("phase time = %v, want 2ms", got)
+	}
+}
+
+func TestSendToInvalidRankAborts(t *testing.T) {
+	rt := newRuntime(t, 2)
+	err := rt.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(5, 0, nil, 0)
+		}
+	})
+	if err == nil {
+		t.Fatal("send to invalid rank must abort the run")
+	}
+}
+
+func TestCollectivesBackToBackIsolation(t *testing.T) {
+	// Two consecutive allreduces must not cross-match messages.
+	p := 6
+	rt := newRuntime(t, p)
+	sum := func(a, b float64) float64 { return a + b }
+	err := rt.Run(func(r *Rank) {
+		a := Allreduce(r, 1.0, 8, sum)
+		b := Allreduce(r, 2.0, 8, sum)
+		if a != float64(p) || b != float64(2*p) {
+			t.Errorf("rank %d: a=%g b=%g", r.Rank(), a, b)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package cg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridShapes(t *testing.T) {
+	cases := []struct{ p, r, c int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {8, 2, 4},
+		{16, 4, 4}, {32, 4, 8}, {64, 8, 8}, {128, 8, 16},
+	}
+	for _, tc := range cases {
+		r, c, err := grid(tc.p)
+		if err != nil {
+			t.Fatalf("grid(%d): %v", tc.p, err)
+		}
+		if r != tc.r || c != tc.c {
+			t.Errorf("grid(%d) = %dx%d, want %dx%d", tc.p, r, c, tc.r, tc.c)
+		}
+		if r*c != tc.p {
+			t.Errorf("grid(%d): %d·%d != p", tc.p, r, c)
+		}
+		if c != r && c != 2*r {
+			t.Errorf("grid(%d): npcols must be nprows or 2·nprows", tc.p)
+		}
+	}
+	for _, p := range []int{3, 6, 12, 100} {
+		if _, _, err := grid(p); err == nil {
+			t.Errorf("grid(%d) must reject non powers of two", p)
+		}
+	}
+}
+
+func TestTransposePartnerIsInvolution(t *testing.T) {
+	// The transpose exchange partner mapping must be an involution so
+	// SendRecv pairs match up.
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		nprows, npcols, err := grid(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partnerOf := func(me int) int {
+			row := me / npcols
+			col := me % npcols
+			if npcols == nprows {
+				return col*npcols + row
+			}
+			return (col/2)*npcols + 2*row + (col & 1)
+		}
+		seen := make(map[int]bool)
+		for me := 0; me < p; me++ {
+			q := partnerOf(me)
+			if q < 0 || q >= p {
+				t.Fatalf("p=%d: partner(%d) = %d out of range", p, me, q)
+			}
+			if partnerOf(q) != me {
+				t.Fatalf("p=%d: partner not involutive: %d → %d → %d", p, me, q, partnerOf(q))
+			}
+			seen[q] = true
+		}
+		if len(seen) != p {
+			t.Fatalf("p=%d: partner map not a bijection", p)
+		}
+	}
+}
+
+func TestValueSymmetric(t *testing.T) {
+	k, err := New(Config{N: 512, Nonzer: 4, NIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint16) bool {
+		ai, bi := int(a)%512, int(b)%512
+		if ai == bi {
+			return true
+		}
+		return k.value(ai, bi) == k.value(bi, ai)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagonalDominance(t *testing.T) {
+	// diag(row) = shift + Σ|offdiag| guarantees strict dominance, hence
+	// positive definiteness.
+	k, err := New(Config{N: 512, Nonzer: 4, NIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < 512; row += 37 {
+		var offSum float64
+		for _, d := range k.offsets {
+			offSum += k.value(row, (row+d)%512) + k.value(row, (row-d+512)%512)
+		}
+		if k.diag(row) <= offSum {
+			t.Fatalf("row %d not diagonally dominant: diag %g vs off sum %g", row, k.diag(row), offSum)
+		}
+		if math.Abs(k.diag(row)-(shift+offSum)) > 1e-12 {
+			t.Fatalf("row %d: diag formula broken", row)
+		}
+	}
+}
+
+func TestOffsetsDistinctAndInRange(t *testing.T) {
+	for _, nz := range []int{1, 4, 11, 32} {
+		k, err := New(Config{N: 1408, Nonzer: nz, NIter: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(k.offsets) != nz {
+			t.Fatalf("nonzer=%d: got %d offsets", nz, len(k.offsets))
+		}
+		seen := map[int]bool{}
+		for _, d := range k.offsets {
+			if d < 1 || d >= 1408/2 {
+				t.Fatalf("offset %d out of [1, n/2)", d)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate offset %d", d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestOffsetsSpreadAcrossBlocks(t *testing.T) {
+	// The offsets must spread over [1, n/2) so 2-D blocks balance (the
+	// structural-imbalance regression this package once had).
+	k, err := New(Config{N: 8192, Nonzer: 8, NIter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := 0
+	for _, d := range k.offsets {
+		if d > 8192/8 {
+			far++
+		}
+	}
+	if far < len(k.offsets)/2 {
+		t.Fatalf("offsets cluster near the diagonal: %v", k.offsets)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{N: 32, Nonzer: 4, NIter: 1}); err == nil {
+		t.Error("tiny order must be rejected")
+	}
+	if _, err := New(Config{N: 512, Nonzer: 0, NIter: 1}); err == nil {
+		t.Error("nonzer=0 must be rejected")
+	}
+	if _, err := New(Config{N: 512, Nonzer: 4, NIter: 0}); err == nil {
+		t.Error("niter=0 must be rejected")
+	}
+}
+
+func TestClassesAreValid(t *testing.T) {
+	for name, cfg := range Classes() {
+		if _, err := New(cfg); err != nil {
+			t.Errorf("class %s: %v", name, err)
+		}
+		// Orders must divide the largest supported process grid columns.
+		if cfg.N%16 != 0 {
+			t.Errorf("class %s: order %d not divisible by 16 (p=128 grid)", name, cfg.N)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package ep
+
+import "testing"
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{LogPairs: 2}); err == nil {
+		t.Error("tiny LogPairs must be rejected")
+	}
+	if _, err := New(Config{LogPairs: 40}); err == nil {
+		t.Error("huge LogPairs must be rejected")
+	}
+	k, err := New(Config{LogPairs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.N() != 1024 {
+		t.Fatalf("N = %g, want 1024", k.N())
+	}
+	if k.Name() != "EP" {
+		t.Fatalf("name %q", k.Name())
+	}
+	if a := k.Alpha(); a <= 0 || a > 1 {
+		t.Fatalf("alpha %g out of range", a)
+	}
+}
+
+func TestClassesAreValid(t *testing.T) {
+	for name, cfg := range Classes() {
+		if _, err := New(cfg); err != nil {
+			t.Errorf("class %s: %v", name, err)
+		}
+	}
+	// Published NPB sizes: S = 2^24, B = 2^30.
+	if Classes()["S"].LogPairs != 24 || Classes()["B"].LogPairs != 30 {
+		t.Error("NPB class table mismatch")
+	}
+}
+
+func TestVerifyRejectsEmptyRun(t *testing.T) {
+	k, err := New(Config{LogPairs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Verify(); err == nil {
+		t.Error("verification must fail before a run")
+	}
+}

@@ -1,0 +1,70 @@
+package ft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// fftPlan caches twiddle factors and the bit-reversal permutation for one
+// power-of-two length.
+type fftPlan struct {
+	n       int
+	logN    int
+	rev     []int
+	twiddle []complex128 // forward twiddles e^{-2πik/n}, k < n/2
+}
+
+func newPlan(n int) (*fftPlan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ft: FFT length %d is not a power of two ≥ 2", n)
+	}
+	logN := bits.TrailingZeros(uint(n))
+	p := &fftPlan{n: n, logN: logN}
+	p.rev = make([]int, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for k := 0; k < n/2; k++ {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	return p, nil
+}
+
+// transform runs an in-place radix-2 Cooley–Tukey FFT over data
+// (len(data) == plan length). forward selects the sign convention;
+// the inverse is unnormalised (caller scales by 1/n once per full pass).
+func (p *fftPlan) transform(data []complex128, forward bool) {
+	if len(data) != p.n {
+		panic(fmt.Sprintf("ft: transform length %d != plan %d", len(data), p.n))
+	}
+	for i, j := range p.rev {
+		if i < j {
+			data[i], data[j] = data[j], data[i]
+		}
+	}
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size >> 1
+		step := p.n / size
+		for start := 0; start < p.n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if !forward {
+					w = complex(real(w), -imag(w))
+				}
+				a := data[start+k]
+				b := data[start+k+half] * w
+				data[start+k] = a + b
+				data[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// fftOps returns the canonical operation count 5·n·log2(n) of one
+// radix-2 complex FFT of length n (model accounting).
+func fftOps(n int) float64 {
+	return 5 * float64(n) * math.Log2(float64(n))
+}

@@ -1,0 +1,109 @@
+package ft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n²) reference.
+func naiveDFT(in []complex128, forward bool) []complex128 {
+	n := len(in)
+	out := make([]complex128, n)
+	sign := -1.0
+	if !forward {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			angle := sign * 2 * math.Pi * float64(k*j) / float64(n)
+			out[k] += in[j] * cmplx.Exp(complex(0, angle))
+		}
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 8, 16, 64} {
+		plan, err := newPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]complex128, n)
+		for i := range data {
+			data[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+		}
+		want := naiveDFT(data, true)
+		got := make([]complex128, n)
+		copy(got, data)
+		plan.transform(got, true)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("n=%d: bin %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{4, 32, 256} {
+		plan, err := newPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := make([]complex128, n)
+		for i := range orig {
+			orig[i] = complex(rng.Float64(), rng.Float64())
+		}
+		work := make([]complex128, n)
+		copy(work, orig)
+		plan.transform(work, true)
+		plan.transform(work, false)
+		for i := range work {
+			back := work[i] / complex(float64(n), 0)
+			if cmplx.Abs(back-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d: element %d: %v vs %v", n, i, back, orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 128
+	plan, err := newPlan(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]complex128, n)
+	var spatial float64
+	for i := range data {
+		data[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+		spatial += real(data[i])*real(data[i]) + imag(data[i])*imag(data[i])
+	}
+	plan.transform(data, true)
+	var freq float64
+	for _, v := range data {
+		freq += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freq/float64(n)-spatial)/spatial > 1e-12 {
+		t.Fatalf("Parseval: spatial %g vs freq/n %g", spatial, freq/float64(n))
+	}
+}
+
+func TestPlanRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 12, 100} {
+		if _, err := newPlan(n); err == nil {
+			t.Errorf("length %d must be rejected", n)
+		}
+	}
+}
+
+func TestFFTOpsFormula(t *testing.T) {
+	if got := fftOps(1024); got != 5*1024*10 {
+		t.Fatalf("fftOps(1024) = %g", got)
+	}
+}

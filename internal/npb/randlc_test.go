@@ -1,0 +1,81 @@
+package npb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandlcRange(t *testing.T) {
+	x := DefaultSeed
+	for i := 0; i < 10000; i++ {
+		v := Randlc(&x, LCGMultiplier)
+		if v <= 0 || v >= 1 {
+			t.Fatalf("deviate %d out of (0,1): %g", i, v)
+		}
+	}
+}
+
+func TestRandlcDeterminism(t *testing.T) {
+	x1, x2 := DefaultSeed, DefaultSeed
+	for i := 0; i < 1000; i++ {
+		if Randlc(&x1, LCGMultiplier) != Randlc(&x2, LCGMultiplier) {
+			t.Fatalf("divergence at step %d", i)
+		}
+	}
+}
+
+func TestSeedAtMatchesSequentialSteps(t *testing.T) {
+	for _, k := range []int64{0, 1, 2, 17, 1000, 65536} {
+		x := DefaultSeed
+		for i := int64(0); i < k; i++ {
+			Randlc(&x, LCGMultiplier)
+		}
+		jumped := SeedAt(DefaultSeed, LCGMultiplier, k)
+		if x != jumped {
+			t.Fatalf("SeedAt(%d) = %.0f, sequential gives %.0f", k, jumped, x)
+		}
+	}
+}
+
+func TestLCGPowIdentity(t *testing.T) {
+	if got := LCGPow(LCGMultiplier, 0); got != 1 {
+		t.Fatalf("a^0 = %g, want 1", got)
+	}
+	if got := LCGPow(LCGMultiplier, 1); got != LCGMultiplier {
+		t.Fatalf("a^1 = %g, want a", got)
+	}
+}
+
+// Property: jumping is additive — SeedAt(seed, j+k) equals jumping j then k.
+func TestSeedJumpAdditiveProperty(t *testing.T) {
+	f := func(rawJ, rawK uint16) bool {
+		j, k := int64(rawJ), int64(rawK)
+		direct := SeedAt(DefaultSeed, LCGMultiplier, j+k)
+		mid := SeedAt(DefaultSeed, LCGMultiplier, j)
+		chained := SeedAt(mid, LCGMultiplier, k)
+		return direct == chained
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformityRough(t *testing.T) {
+	// Mean of many deviates ≈ 0.5; variance ≈ 1/12.
+	x := DefaultSeed
+	n := 100000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := Randlc(&x, LCGMultiplier)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean %g far from 0.5", mean)
+	}
+	if variance < 0.08 || variance > 0.09 {
+		t.Fatalf("variance %g far from 1/12", variance)
+	}
+}

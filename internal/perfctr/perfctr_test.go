@@ -1,0 +1,95 @@
+package perfctr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndTotal(t *testing.T) {
+	s := NewSet()
+	s.Rank(0).AddCompute(100)
+	s.Rank(0).AddMemory(10)
+	s.Rank(1).AddCompute(200)
+	s.Rank(1).AddMessage(512)
+	s.Rank(1).AddMessage(1024)
+
+	total := s.Total()
+	if total.OnChipOps != 300 {
+		t.Fatalf("on-chip total = %g, want 300", total.OnChipOps)
+	}
+	if total.OffChipAccesses != 10 {
+		t.Fatalf("off-chip total = %g, want 10", total.OffChipAccesses)
+	}
+	if total.Messages != 2 || total.BytesSent != 1536 {
+		t.Fatalf("M=%d B=%g, want 2/1536", total.Messages, total.BytesSent)
+	}
+}
+
+func TestRanksSorted(t *testing.T) {
+	s := NewSet()
+	for _, r := range []int{5, 1, 3} {
+		s.Rank(r).AddCompute(1)
+	}
+	got := s.Ranks()
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("ranks = %v", got)
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	cases := []func(c *Counters){
+		func(c *Counters) { c.AddCompute(-1) },
+		func(c *Counters) { c.AddMemory(-1) },
+		func(c *Counters) { c.AddMessage(-1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: negative increment must panic", i)
+				}
+			}()
+			f(&Counters{})
+		}()
+	}
+}
+
+func TestBusyTime(t *testing.T) {
+	c := Counters{ComputeTime: 1, MemoryTime: 2, NetworkTime: 3, IOTime: 4}
+	if c.BusyTime() != 10 {
+		t.Fatalf("busy = %v", c.BusyTime())
+	}
+}
+
+func TestStringTable(t *testing.T) {
+	s := NewSet()
+	s.Rank(0).AddCompute(42)
+	out := s.String()
+	if !strings.Contains(out, "total") || !strings.Contains(out, "42") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+}
+
+// Property: Total is additive — merging counters from any two rank sets
+// equals the sum of per-rank contributions.
+func TestTotalAdditiveProperty(t *testing.T) {
+	f := func(a, b uint16, ma, mb uint8) bool {
+		s := NewSet()
+		s.Rank(0).AddCompute(float64(a))
+		s.Rank(1).AddCompute(float64(b))
+		for i := 0; i < int(ma); i++ {
+			s.Rank(0).AddMessage(10)
+		}
+		for i := 0; i < int(mb); i++ {
+			s.Rank(1).AddMessage(20)
+		}
+		tot := s.Total()
+		return tot.OnChipOps == float64(a)+float64(b) &&
+			tot.Messages == int64(ma)+int64(mb) &&
+			tot.BytesSent == 10*float64(ma)+20*float64(mb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func testSpec() machine.Spec {
+	return machine.Spec{
+		Name:             "test",
+		CPI:              2,
+		BaseFreq:         2 * units.GHz,
+		Frequencies:      []units.Hertz{2 * units.GHz},
+		Gamma:            2,
+		Tm:               100 * units.Nanosecond,
+		Ts:               10 * units.Microsecond,
+		Tb:               1 * units.Nanosecond,
+		DeltaPcBase:      20,
+		DeltaPm:          10,
+		DeltaPio:         5,
+		PcIdle:           40,
+		PmIdle:           20,
+		PioIdle:          10,
+		Pother:           30,
+		IdleFreqFraction: 0,
+		CoresPerNode:     1,
+		Nodes:            8,
+	}
+}
+
+func TestProfileIntegratesToTrueEnergy(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{Spec: testSpec(), Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Attach(cl, 10*units.Millisecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		r := r
+		cl.Kernel().Spawn("rank", func(p *sim.Proc) {
+			cl.Compute(p, r, 5e7, 1e5) // 50ms CPU + 10ms memory
+			cl.IOAccess(p, r, 20*units.Millisecond)
+		})
+	}
+	if err := cl.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	pr := prof.Profile()
+	if len(pr.Samples) == 0 {
+		t.Fatal("no samples recorded")
+	}
+	got := float64(pr.Energy())
+	// The trace covers [0, last sample]; compare against idle power over
+	// that horizon plus the active component energies.
+	last := pr.Samples[len(pr.Samples)-1].T
+	truth := cl.TrueEnergy()
+	want := float64(truth.CPU+truth.Memory+truth.IO) + float64(cl.IdlePower())*float64(last)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("profile energy %g J != busy+idle energy %g J", got, want)
+	}
+}
+
+func TestSamplePowersAreDecomposed(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{Spec: testSpec(), Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Attach(cl, 10*units.Millisecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Kernel().Spawn("r0", func(p *sim.Proc) {
+		cl.Compute(p, 0, 1e8, 0) // pure CPU, 100ms
+	})
+	if err := cl.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	pr := prof.Profile()
+	// During a full-utilisation CPU window: CPU = idle 40 + Δ 20 = 60 W,
+	// memory stays at idle 20 W, other flat 30 W, io idle 10 W.
+	s := pr.Samples[len(pr.Samples)/2]
+	if math.Abs(float64(s.CPU)-60) > 1e-9 {
+		t.Fatalf("CPU power = %v, want 60 W", s.CPU)
+	}
+	if math.Abs(float64(s.Memory)-20) > 1e-9 {
+		t.Fatalf("memory power = %v, want idle 20 W", s.Memory)
+	}
+	if math.Abs(float64(s.Other)-30) > 1e-9 {
+		t.Fatalf("other power = %v, want 30 W", s.Other)
+	}
+	if math.Abs(float64(s.Total)-(60+20+10+30)) > 1e-9 {
+		t.Fatalf("total = %v", s.Total)
+	}
+}
+
+func TestIdleTailShowsIdlePower(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{Spec: testSpec(), Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Attach(cl, 10*units.Millisecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Kernel().Spawn("r0", func(p *sim.Proc) {
+		cl.Compute(p, 0, 1e7, 0) // 10ms busy
+		p.Sleep(90 * units.Millisecond)
+	})
+	if err := cl.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	pr := prof.Profile()
+	lastSample := pr.Samples[len(pr.Samples)-1]
+	wantIdle := 40.0 + 20 + 10 + 30
+	if math.Abs(float64(lastSample.Total)-wantIdle) > 1e-9 {
+		t.Fatalf("idle-tail power = %v, want %g W", lastSample.Total, wantIdle)
+	}
+}
+
+func TestPeakAndMean(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{Spec: testSpec(), Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Attach(cl, 5*units.Millisecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Kernel().Spawn("r0", func(p *sim.Proc) {
+		cl.Compute(p, 0, 5e7, 0)
+	})
+	if err := cl.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	pr := prof.Profile()
+	if pr.PeakTotal() < pr.MeanTotal() {
+		t.Fatalf("peak %v < mean %v", pr.PeakTotal(), pr.MeanTotal())
+	}
+	if pr.PeakTotal() <= 0 {
+		t.Fatal("peak must be positive")
+	}
+}
+
+func TestCSVAndRender(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{Spec: testSpec(), Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Attach(cl, 5*units.Millisecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Kernel().Spawn("r0", func(p *sim.Proc) { cl.Compute(p, 0, 2e7, 1e4) })
+	if err := cl.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	pr := prof.Profile()
+	var sb strings.Builder
+	if err := pr.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(pr.Samples)+1 {
+		t.Fatalf("CSV has %d lines for %d samples", len(lines), len(pr.Samples))
+	}
+	if !strings.HasPrefix(lines[0], "t_s,cpu_w") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	chart := pr.Render(40)
+	for _, name := range []string{"cpu", "mem", "total"} {
+		if !strings.Contains(chart, name) {
+			t.Fatalf("chart missing series %q:\n%s", name, chart)
+		}
+	}
+	if (Profile{}).Render(40) == "" {
+		t.Fatal("empty profile should still render a placeholder")
+	}
+}
+
+func TestNoisyMeter(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{Spec: testSpec(), Ranks: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Attach(cl, 5*units.Millisecond, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Kernel().Spawn("r0", func(p *sim.Proc) { cl.Compute(p, 0, 1e8, 0) })
+	if err := cl.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	pr := prof.Profile()
+	// Samples in identical full-load windows should differ (meter noise)…
+	mid := pr.Samples[len(pr.Samples)/2]
+	next := pr.Samples[len(pr.Samples)/2+1]
+	if mid.CPU == next.CPU {
+		t.Fatal("noisy meter should jitter readings")
+	}
+	// …but stay within a few percent of the exact 60 W.
+	if math.Abs(float64(mid.CPU)-60)/60 > 0.2 {
+		t.Fatalf("noisy CPU sample %v too far from 60 W", mid.CPU)
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{Spec: testSpec(), Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Attach(cl, 0, false); err == nil {
+		t.Fatal("zero interval must be rejected")
+	}
+	if _, err := Attach(cl, -1, false); err == nil {
+		t.Fatal("negative interval must be rejected")
+	}
+}
+
+func TestSubsetRanks(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{Spec: testSpec(), Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Attach(cl, 10*units.Millisecond, false, 0) // only rank 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Kernel().Spawn("r0", func(p *sim.Proc) { p.Sleep(50 * units.Millisecond) })
+	cl.Kernel().Spawn("r1", func(p *sim.Proc) { cl.Compute(p, 1, 5e7, 0) })
+	if err := cl.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	pr := prof.Profile()
+	// Rank 0 idles, so its trace must show pure idle power even though
+	// rank 1 is busy.
+	for _, s := range pr.Samples {
+		if math.Abs(float64(s.CPU)-40) > 1e-9 {
+			t.Fatalf("rank-0 CPU sample %v, want idle 40 W", s.CPU)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation kernel with a virtual clock.
+//
+// The kernel replaces the real clusters of the paper's evaluation: the
+// simulated MPI runtime (package mpi), the power profiler (package power)
+// and the NAS-style kernels (package npb) all advance this virtual clock
+// instead of wall time, which lets a laptop reproduce scalability studies
+// up to hundreds of ranks while keeping timing derived from the same
+// machine parameters (tc, tm, Ts, Tb) the analytical model uses.
+//
+// Concurrency model: every simulated process (Proc) runs in its own
+// goroutine, but exactly one goroutine — either the kernel loop or a
+// single process — executes at any moment. Control is handed off through
+// unbuffered channels, so execution is sequential and, for a fixed seed,
+// bit-for-bit deterministic. Processes block by parking; other processes
+// wake them by scheduling events. The kernel detects global deadlock
+// (parked processes with an empty event queue) and reports who was parked
+// and why.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// event is a scheduled callback. Events with equal time fire in schedule
+// (FIFO) order, which keeps runs deterministic.
+type event struct {
+	t   units.Seconds
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator instance.
+type Kernel struct {
+	now    units.Seconds
+	events eventHeap
+	seq    int64
+
+	yield chan struct{} // proc → kernel: "I have blocked or finished"
+
+	procs     []*Proc
+	live      int // procs spawned and not yet finished (incl. parked)
+	running   bool
+	stopped   bool
+	procErr   error
+	rng       *rand.Rand
+	maxEvents int64 // safety valve against runaway simulations; 0 = unlimited
+	nEvents   int64
+}
+
+// NewKernel returns a kernel whose random streams derive from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() units.Seconds { return k.now }
+
+// RNG returns the kernel's deterministic random stream. It must only be
+// used from kernel context (event callbacks or running processes).
+func (k *Kernel) RNG() *rand.Rand { return k.rng }
+
+// SetMaxEvents bounds the number of events Run will process; exceeding the
+// bound makes Run return an error. Zero means unlimited.
+func (k *Kernel) SetMaxEvents(n int64) { k.maxEvents = n }
+
+// LiveProcs returns the number of spawned processes that have not finished.
+func (k *Kernel) LiveProcs() int { return k.live }
+
+// Schedule registers fn to run in kernel context at virtual time t.
+// fn must not block; to model blocking behaviour, use a Proc.
+// Scheduling in the past is an error the kernel reports at Run time.
+func (k *Kernel) Schedule(t units.Seconds, fn func()) {
+	if t < k.now {
+		// Clamp, but surface the bug: scheduling in the past would break
+		// causality silently. Panic is appropriate here — this is a
+		// programming error inside the simulator's callers, not an input
+		// error.
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, &event{t: t, seq: k.seq, fn: fn})
+}
+
+// After registers fn to run d from now.
+func (k *Kernel) After(d units.Seconds, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.Schedule(k.now+d, fn)
+}
+
+// DeadlockError reports a simulation that ended with parked processes.
+type DeadlockError struct {
+	Time   units.Seconds
+	Parked []string // "name: reason" for each parked process
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v: %d process(es) parked: %s",
+		e.Time, len(e.Parked), strings.Join(e.Parked, "; "))
+}
+
+// Run processes events until none remain, a process panics, or Stop is
+// called. It returns a *DeadlockError if processes are still parked when
+// the event queue drains, and the recovered error if a process failed.
+func (k *Kernel) Run() error {
+	if k.running {
+		return fmt.Errorf("sim: kernel already running")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	for len(k.events) > 0 && !k.stopped {
+		k.nEvents++
+		if k.maxEvents > 0 && k.nEvents > k.maxEvents {
+			return fmt.Errorf("sim: event budget %d exhausted at t=%v (runaway simulation?)", k.maxEvents, k.now)
+		}
+		e := heap.Pop(&k.events).(*event)
+		k.now = e.t
+		e.fn()
+		if k.procErr != nil {
+			return k.procErr
+		}
+	}
+
+	var parked []string
+	for _, p := range k.procs {
+		if !p.done && p.parked {
+			parked = append(parked, fmt.Sprintf("%s: %s", p.name, p.reason))
+		}
+	}
+	if len(parked) > 0 {
+		sort.Strings(parked)
+		return &DeadlockError{Time: k.now, Parked: parked}
+	}
+	return nil
+}
+
+// Stop makes Run return after the current event completes. Intended for
+// simulations with a natural cut-off (e.g. a fixed measurement window).
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Proc is a simulated process. All methods must be called from the
+// process's own goroutine (i.e. inside the function passed to Spawn),
+// except UnparkAt, which must be called from kernel context — another
+// running process or a scheduled event.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	done   bool
+	parked bool
+	reason string
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() units.Seconds { return p.k.now }
+
+// Spawn creates a process and schedules it to start at the current
+// virtual time. fn runs in its own goroutine under the kernel's
+// cooperative handoff. A panic inside fn aborts the simulation and is
+// returned from Run.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.SpawnAt(k.now, name, fn)
+}
+
+// SpawnAt creates a process that starts at virtual time t ≥ now.
+func (k *Kernel) SpawnAt(t units.Seconds, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		<-p.resume // wait for the kernel to start us
+		defer func() {
+			if r := recover(); r != nil {
+				if k.procErr == nil {
+					k.procErr = fmt.Errorf("sim: process %s panicked: %v", p.name, r)
+				}
+			}
+			p.done = true
+			k.live--
+			k.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.Schedule(t, func() { k.handoff(p) })
+	return p
+}
+
+// handoff transfers control to p and waits until p blocks or finishes.
+// Kernel context only.
+func (k *Kernel) handoff(p *Proc) {
+	if p.done {
+		panic(fmt.Sprintf("sim: resuming finished process %s", p.name))
+	}
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
+// block suspends the calling process and returns control to the kernel.
+func (p *Proc) block() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process's local time by d: the process is suspended
+// and resumes at now+d. d must be non-negative; Sleep(0) still yields to
+// the kernel, preserving FIFO fairness among same-time events.
+func (p *Proc) Sleep(d units.Seconds) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: %s: negative sleep %v", p.name, d))
+	}
+	p.k.After(d, func() { p.k.handoff(p) })
+	p.block()
+}
+
+// SleepUntil suspends the process until virtual time t ≥ now.
+func (p *Proc) SleepUntil(t units.Seconds) {
+	if t < p.k.now {
+		panic(fmt.Sprintf("sim: %s: sleep until %v before now %v", p.name, t, p.k.now))
+	}
+	p.k.Schedule(t, func() { p.k.handoff(p) })
+	p.block()
+}
+
+// Park suspends the process indefinitely with a human-readable reason
+// (shown in deadlock reports). Another process must wake it with
+// UnparkAt. Exactly one UnparkAt must follow each Park.
+func (p *Proc) Park(reason string) {
+	if p.parked {
+		panic(fmt.Sprintf("sim: %s: park while already parked", p.name))
+	}
+	p.parked = true
+	p.reason = reason
+	p.block()
+	p.parked = false
+	p.reason = ""
+}
+
+// UnparkAt schedules the parked process p to resume at virtual time
+// t ≥ now. It must be called from kernel context (a running process or a
+// scheduled event), never from p itself.
+func (p *Proc) UnparkAt(t units.Seconds) {
+	if !p.parked {
+		panic(fmt.Sprintf("sim: unpark of non-parked process %s", p.name))
+	}
+	if p.done {
+		panic(fmt.Sprintf("sim: unpark of finished process %s", p.name))
+	}
+	p.parked = false // claim the wake so double-unpark is caught here
+	p.reason = ""
+	p.k.Schedule(t, func() { p.k.handoff(p) })
+}

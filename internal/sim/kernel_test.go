@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.Schedule(3, func() { order = append(order, "c") })
+	k.Schedule(1, func() { order = append(order, "a") })
+	k.Schedule(2, func() { order = append(order, "b") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Fatalf("order = %q, want abc", got)
+	}
+	if k.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", k.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past must panic")
+			}
+		}()
+		k.Schedule(5, func() {})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel(1)
+	var wake units.Seconds
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(2.5)
+		wake = p.Now()
+		p.Sleep(1.5)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 2.5 {
+		t.Fatalf("woke at %v, want 2.5", wake)
+	}
+	if k.Now() != 4 {
+		t.Fatalf("end time %v, want 4", k.Now())
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	k := NewKernel(1)
+	var started units.Seconds
+	k.SpawnAt(7, "late", func(p *Proc) { started = p.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if started != 7 {
+		t.Fatalf("started at %v, want 7", started)
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	k := NewKernel(1)
+	var got units.Seconds
+	var consumer *Proc
+	consumer = k.Spawn("consumer", func(p *Proc) {
+		p.Park("waiting for producer")
+		got = p.Now()
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Sleep(3)
+		consumer.UnparkAt(p.Now() + 2) // message arrives 2s later
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("consumer resumed at %v, want 5", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("stuck-a", func(p *Proc) { p.Park("waiting for godot") })
+	k.Spawn("stuck-b", func(p *Proc) { p.Park("also waiting") })
+	err := k.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	if len(dl.Parked) != 2 {
+		t.Fatalf("parked = %v, want 2 entries", dl.Parked)
+	}
+	if !strings.Contains(dl.Error(), "godot") {
+		t.Fatalf("deadlock message should include park reason: %q", dl.Error())
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("bomb", func(p *Proc) {
+		p.Sleep(1)
+		panic("boom")
+	})
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want propagated panic, got %v", err)
+	}
+}
+
+func TestLiveProcs(t *testing.T) {
+	k := NewKernel(1)
+	if k.LiveProcs() != 0 {
+		t.Fatal("no procs yet")
+	}
+	k.Spawn("a", func(p *Proc) { p.Sleep(2) })
+	k.Spawn("b", func(p *Proc) { p.Sleep(4) })
+	var at1, at3, at5 int
+	k.Schedule(1, func() { at1 = k.LiveProcs() })
+	k.Schedule(3, func() { at3 = k.LiveProcs() })
+	k.Schedule(5, func() { at5 = k.LiveProcs() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at1 != 2 || at3 != 1 || at5 != 0 {
+		t.Fatalf("live counts = %d,%d,%d; want 2,1,0", at1, at3, at5)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired == 3 {
+			k.Stop()
+		}
+		k.After(1, tick)
+	}
+	k.After(1, tick)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d, want 3", fired)
+	}
+}
+
+func TestMaxEvents(t *testing.T) {
+	k := NewKernel(1)
+	k.SetMaxEvents(10)
+	var loop func()
+	loop = func() { k.After(1, loop) }
+	k.After(1, loop)
+	err := k.Run()
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("want event-budget error, got %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) string {
+		k := NewKernel(seed)
+		var log []string
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					d := units.Seconds(k.RNG().Float64())
+					p.Sleep(d)
+					log = append(log, fmt.Sprintf("%s@%.9f", p.Name(), float64(p.Now())))
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(log, ",")
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed gave different traces:\n%s\n%s", a, b)
+	}
+	c := run(43)
+	if a == c {
+		t.Fatal("different seeds should (almost surely) differ")
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("bad", func(p *Proc) { p.Sleep(-1) })
+	if err := k.Run(); err == nil || !strings.Contains(err.Error(), "negative sleep") {
+		t.Fatalf("want negative-sleep panic, got %v", err)
+	}
+}
+
+func TestResourceSerialises(t *testing.T) {
+	k := NewKernel(1)
+	nic := NewResource("nic0")
+	ends := make([]units.Seconds, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("sender%d", i), func(p *Proc) {
+			_, end := nic.Use(p, 10)
+			ends[i] = end
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both start at t=0 logically, but the NIC serialises them.
+	if ends[0] != 10 || ends[1] != 20 {
+		t.Fatalf("ends = %v, want [10 20]", ends)
+	}
+	if nic.BusyTime() != 20 {
+		t.Fatalf("busy = %v, want 20", nic.BusyTime())
+	}
+	if nic.Uses() != 2 {
+		t.Fatalf("uses = %d, want 2", nic.Uses())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	k := NewKernel(1)
+	r := NewResource("link")
+	k.Spawn("a", func(p *Proc) {
+		r.Use(p, 5) // [0,5]
+		p.Sleep(10) // resource idle [5,15]
+		start, end := r.Use(p, 5)
+		if start != 15 || end != 20 {
+			t.Errorf("second use = [%v,%v], want [15,20]", start, end)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any set of reservation durations, a resource's total busy
+// time equals the sum of durations and reservations never overlap.
+func TestResourceReservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewResource("x")
+		now := units.Seconds(0)
+		var lastEnd units.Seconds
+		var total units.Seconds
+		for i := 0; i < 50; i++ {
+			d := units.Seconds(rng.Float64() * 3)
+			now += units.Seconds(rng.Float64()) // time advances between calls
+			start, end := r.Reserve(now, d)
+			ddiff := float64((end - start) - d)
+			if ddiff < 0 {
+				ddiff = -ddiff
+			}
+			if start < lastEnd || start < now || ddiff > 1e-9 {
+				return false
+			}
+			lastEnd = end
+			total += d
+		}
+		diff := float64(r.BusyTime() - total)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnparkNotParkedPanics(t *testing.T) {
+	k := NewKernel(1)
+	var victim *Proc
+	victim = k.Spawn("victim", func(p *Proc) { p.Sleep(100) })
+	k.Spawn("attacker", func(p *Proc) {
+		p.Sleep(1)
+		defer func() {
+			if recover() == nil {
+				t.Error("unparking a non-parked proc must panic")
+			}
+		}()
+		victim.UnparkAt(p.Now())
+	})
+	_ = k.Run()
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Resource models a serially-reusable device with first-come-first-served
+// reservation semantics — a NIC, a memory channel, a link. A caller
+// reserves the resource for a duration; the reservation begins at
+// max(now, end of previous reservation). This is the standard
+// store-and-forward serialisation used to make network contention emerge
+// in the simulated cluster (e.g. two ranks on one node sending at once
+// share the node's NIC).
+type Resource struct {
+	name   string
+	freeAt units.Seconds
+	busy   units.Seconds // accumulated busy time, for utilisation stats
+	uses   int64
+}
+
+// NewResource returns an idle resource.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Name returns the identifier given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Reserve books the resource for duration d starting no earlier than now,
+// queueing behind existing reservations. It returns the start and end of
+// the booked interval. The caller is responsible for sleeping until end
+// if it models synchronous use.
+func (r *Resource) Reserve(now units.Seconds, d units.Seconds) (start, end units.Seconds) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: resource %s: negative duration %v", r.name, d))
+	}
+	start = now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + d
+	r.freeAt = end
+	r.busy += d
+	r.uses++
+	return start, end
+}
+
+// EarliestStart returns the first time ≥ now at which the resource is free.
+func (r *Resource) EarliestStart(now units.Seconds) units.Seconds {
+	if r.freeAt > now {
+		return r.freeAt
+	}
+	return now
+}
+
+// ReserveAt books the resource for [start, start+d]. start must not
+// precede the end of the previous reservation; use EarliestStart to find
+// a feasible start. This exists so that a caller can atomically reserve
+// several resources (e.g. the sender's and receiver's NICs) at a common
+// start time.
+func (r *Resource) ReserveAt(start, d units.Seconds) (end units.Seconds) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: resource %s: negative duration %v", r.name, d))
+	}
+	if start < r.freeAt {
+		panic(fmt.Sprintf("sim: resource %s: reservation at %v overlaps previous (free at %v)", r.name, start, r.freeAt))
+	}
+	end = start + d
+	r.freeAt = end
+	r.busy += d
+	r.uses++
+	return end
+}
+
+// Use reserves the resource for d and suspends p until the reservation
+// ends, modelling synchronous occupancy. It returns the interval.
+func (r *Resource) Use(p *Proc, d units.Seconds) (start, end units.Seconds) {
+	start, end = r.Reserve(p.Now(), d)
+	p.SleepUntil(end)
+	return start, end
+}
+
+// FreeAt returns the time the last reservation releases the resource.
+func (r *Resource) FreeAt() units.Seconds { return r.freeAt }
+
+// BusyTime returns total reserved time.
+func (r *Resource) BusyTime() units.Seconds { return r.busy }
+
+// Uses returns the number of reservations made.
+func (r *Resource) Uses() int64 { return r.uses }

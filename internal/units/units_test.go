@@ -1,0 +1,101 @@
+package units
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergyPowerRoundTrip(t *testing.T) {
+	f := func(p float64, tsec float64) bool {
+		if tsec <= 0 || tsec > 1e9 || p < 0 || p > 1e9 {
+			return true // outside domain of interest
+		}
+		e := Energy(Watts(p), Seconds(tsec))
+		back := Power(e, Seconds(tsec))
+		diff := float64(back) - p
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-9*(1+p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerZeroDuration(t *testing.T) {
+	if got := Power(100, 0); got != 0 {
+		t.Fatalf("Power(e, 0) = %v, want 0", got)
+	}
+	if got := Power(100, -1); got != 0 {
+		t.Fatalf("Power(e, -1) = %v, want 0", got)
+	}
+}
+
+func TestEnergySimple(t *testing.T) {
+	if got := Energy(100, 2); got != 200 {
+		t.Fatalf("Energy(100W, 2s) = %v, want 200 J", got)
+	}
+}
+
+func TestSecondsString(t *testing.T) {
+	cases := []struct {
+		in   Seconds
+		want string
+	}{
+		{0, "0s"},
+		{1.5, "1.5s"},
+		{2 * Millisecond, "2ms"},
+		{3 * Microsecond, "3µs"},
+		{4 * Nanosecond, "4ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Seconds(%g).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestJoulesString(t *testing.T) {
+	cases := []struct {
+		in   Joules
+		want string
+	}{
+		{0, "0J"},
+		{5, "5J"},
+		{1500, "1.5kJ"},
+		{2.5e6, "2.5MJ"},
+		{0.004, "4mJ"},
+		{4e-6, "4µJ"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Joules(%g).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestHertzString(t *testing.T) {
+	if got := (2800 * MHz).String(); got != "2.8GHz" {
+		t.Fatalf("got %q", got)
+	}
+	if got := (800 * MHz).String(); got != "800MHz" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	if got := (4 * MB).String(); !strings.Contains(got, "MiB") {
+		t.Fatalf("got %q, want MiB suffix", got)
+	}
+	if got := Bytes(512).String(); got != "512B" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWattsString(t *testing.T) {
+	if got := Watts(95).String(); got != "95W" {
+		t.Fatalf("got %q", got)
+	}
+}
