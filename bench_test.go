@@ -26,6 +26,7 @@ import (
 	"repro/internal/netmodel"
 	"repro/internal/npb"
 	"repro/internal/npb/ft"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -344,6 +345,55 @@ func BenchmarkAblationAlltoallAlgorithm(b *testing.B) {
 	fmt.Fprintf(os.Stderr, "\n== ablation: alltoall p=%d, 64KiB blocks — pairwise %v vs rooted %v (%.0f×) ==\n",
 		p, pairwise, naive, float64(naive)/float64(pairwise))
 	b.ReportMetric(float64(naive)/float64(pairwise), "slowdown-x")
+}
+
+// --- scheduler benchmarks ---
+
+// BenchmarkSchedule runs the schedrun default trace (64 jobs on 64
+// SystemG ranks) under three cap levels so future PRs can track
+// scheduler throughput and the energy/makespan frontier. The reported
+// metrics are virtual: makespan seconds, completed jobs per virtual
+// second, and mean energy per completed job.
+func BenchmarkSchedule(b *testing.B) {
+	trace := sched.SyntheticTrace(sched.TraceConfig{Jobs: 64, Seed: 1})
+	for _, cap := range []units.Watts{2000, 2500, 3000} {
+		for _, mk := range []struct {
+			name string
+			pol  func() sched.Policy
+		}{
+			{"fifo", sched.FIFO},
+			{"ee-max", sched.EEMax},
+		} {
+			b.Run(fmt.Sprintf("cap%dW/%s", int(cap), mk.name), func(b *testing.B) {
+				var res sched.Result
+				for i := 0; i < b.N; i++ {
+					s, err := sched.New(sched.Config{
+						Spec:   machine.SystemG(),
+						Ranks:  64,
+						Cap:    cap,
+						Policy: mk.pol(),
+						Seed:   1,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err = s.Run(trace)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.CapViolations != 0 {
+						b.Fatalf("cap violated %d times", res.CapViolations)
+					}
+				}
+				b.ReportMetric(float64(res.Makespan), "vmakespan-s")
+				b.ReportMetric(res.Throughput, "jobs/vs")
+				b.ReportMetric(float64(res.EnergyPerJob), "J/job")
+				// Rejections matter at tight caps: FIFO's rigid full-width
+				// points can be unrunnable where moldable policies fit.
+				b.ReportMetric(float64(res.Completed), "done")
+			})
+		}
+	}
 }
 
 // --- substrate micro-benchmarks ---

@@ -1,0 +1,102 @@
+// Command schedrun races the power-budget scheduling policies head to
+// head on one synthetic job trace: the same jobs, the same cluster, the
+// same power cap — only the policy differs. The comparison table is the
+// paper's "power-constrained parallel computation" at fleet scale: the
+// iso-energy-efficiency-aware policies should complete the trace at
+// least as fast as the FIFO baseline while spending less energy per job
+// and never exceeding the cap.
+//
+// Usage:
+//
+//	schedrun -jobs 64 -cap 2500 [-ranks 64] [-policy all] [-detail]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 64, "number of jobs in the synthetic trace")
+	cap := flag.Float64("cap", 2500, "cluster power cap in watts")
+	ranks := flag.Int("ranks", 64, "cluster size in ranks")
+	clusterName := flag.String("cluster", "systemg", "cluster preset: systemg, dori")
+	policy := flag.String("policy", "all", "policy to run: fifo, ee-max, fair-share, or all")
+	seed := flag.Int64("seed", 1, "trace and simulation seed")
+	interval := flag.Float64("interval", 0, "governor sampling interval in seconds (0 = 25ms)")
+	detail := flag.Bool("detail", false, "print per-job tables")
+	flag.Parse()
+
+	spec, ok := machine.Presets()[strings.ToLower(*clusterName)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown cluster %q\n", *clusterName)
+		os.Exit(2)
+	}
+
+	var policies []sched.Policy
+	if *policy == "all" {
+		all := sched.Policies()
+		names := make([]string, 0, len(all))
+		for name := range all {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		// Baseline first so the table reads as baseline vs. contenders.
+		sort.SliceStable(names, func(a, b int) bool { return names[a] == "fifo" && names[b] != "fifo" })
+		for _, name := range names {
+			policies = append(policies, all[name])
+		}
+	} else {
+		p, ok := sched.Policies()[strings.ToLower(*policy)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown policy %q (have fifo, ee-max, fair-share, all)\n", *policy)
+			os.Exit(2)
+		}
+		policies = []sched.Policy{p}
+	}
+
+	trace := sched.SyntheticTrace(sched.TraceConfig{Jobs: *jobs, Seed: *seed})
+
+	fmt.Printf("trace: %d jobs on %s/%d ranks under a %.0f W cap (seed %d)\n\n",
+		*jobs, spec.Name, *ranks, *cap, *seed)
+
+	var results []sched.Result
+	for _, pol := range policies {
+		s, err := sched.New(sched.Config{
+			Spec:     spec,
+			Ranks:    *ranks,
+			Cap:      units.Watts(*cap),
+			Policy:   pol,
+			Interval: units.Seconds(*interval),
+			Seed:     *seed,
+		})
+		exitOn(err)
+		res, err := s.Run(trace)
+		exitOn(err)
+		results = append(results, res)
+		if *detail {
+			fmt.Printf("== %s ==\n%s\n", res.Policy, res.JobTable())
+		}
+	}
+
+	fmt.Print(sched.ComparisonTable(results))
+	for _, r := range results {
+		if r.CapViolations > 0 {
+			fmt.Printf("\nWARNING: %s exceeded the cap in %d of %d samples\n", r.Policy, r.CapViolations, r.Samples)
+		}
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -216,41 +216,152 @@ type OperatingPoint struct {
 	Feasible bool
 }
 
-// OptimizeUnderPowerBudget scans (p, f) over the given parallelism list
-// and the spec's DVFS ladder and returns the operating point with the
-// shortest predicted runtime whose average system power stays within
-// budget — "power-constrained parallel computation" made concrete. The
-// boolean result reports whether any point was feasible.
-func OptimizeUnderPowerBudget(spec machine.Spec, v app.Vector, n float64, ps []int, budget units.Watts) (OperatingPoint, error) {
+// Objective selects the figure of merit a power-constrained search
+// optimises over the joint (p, f) grid.
+type Objective int
+
+const (
+	// MinTime picks the shortest predicted runtime (the original
+	// OptimizeUnderPowerBudget behaviour).
+	MinTime Objective = iota
+	// MaxEE picks the highest iso-energy-efficiency — the admission
+	// objective of the sched package's EE-aware policies.
+	MaxEE
+	// MinEnergy picks the lowest predicted parallel energy Ep.
+	MinEnergy
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinTime:
+		return "min-time"
+	case MaxEE:
+		return "max-ee"
+	case MinEnergy:
+		return "min-energy"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// Better reports whether a beats b under the objective. Ties cascade
+// through the secondary metrics and finally fall to lower frequency and
+// smaller p, so a grid scan always selects one deterministic winner
+// regardless of enumeration order — admission decisions made from this
+// comparison replay identically across runs.
+//
+// MaxEE compares EE in half-percent bins rather than raw floats: EE
+// differences below that are model noise (EP's EE is ≈ 1 at every
+// frequency, FT's moves in the fourth decimal across the ladder), and
+// latching onto them would trade real joules for phantom efficiency.
+// Within a bin, lower predicted energy wins — EE picks the shape
+// (parallelism, where overhead genuinely moves EE), energy picks the
+// frequency.
+func (o Objective) Better(a, b Point) bool {
+	type keyed struct{ k1, k2, k3 float64 }
+	key := func(pt Point) keyed {
+		switch o {
+		case MaxEE:
+			return keyed{-math.Round(pt.EE * 200), float64(pt.Ep), float64(pt.Tp)}
+		case MinEnergy:
+			return keyed{float64(pt.Ep), float64(pt.Tp), -pt.EE}
+		default: // MinTime
+			return keyed{float64(pt.Tp), float64(pt.Ep), -pt.EE}
+		}
+	}
+	ka, kb := key(a), key(b)
+	switch {
+	case ka.k1 != kb.k1:
+		return ka.k1 < kb.k1
+	case ka.k2 != kb.k2:
+		return ka.k2 < kb.k2
+	case ka.k3 != kb.k3:
+		return ka.k3 < kb.k3
+	case a.Freq != b.Freq:
+		return a.Freq < b.Freq
+	default:
+		return a.P < b.P
+	}
+}
+
+// DefaultParallelisms is the power-of-two sweep 1..MaxRanks used when a
+// caller passes no explicit parallelism list.
+func DefaultParallelisms(spec machine.Spec) []int {
+	var ps []int
+	for p := 1; p <= spec.MaxRanks(); p *= 2 {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// ForEachOperatingPoint evaluates the model over the joint grid of the
+// given parallelism list × the spec's full DVFS ladder, invoking visit on
+// every point. It is the single enumeration shared by the offline
+// optimiser below and the sched package's admission controller, so both
+// layers agree on which operating points exist. Entries of ps outside
+// [1, spec.MaxRanks()] are skipped; a nil ps means DefaultParallelisms.
+func ForEachOperatingPoint(spec machine.Spec, v app.Vector, n float64, ps []int, visit func(Point)) error {
+	if ps == nil {
+		ps = DefaultParallelisms(spec)
+	}
+	seen := false
+	for _, p := range ps {
+		if p < 1 || p > spec.MaxRanks() {
+			continue
+		}
+		seen = true
+		for _, f := range spec.Frequencies {
+			mp, err := spec.AtFrequency(f)
+			if err != nil {
+				return err
+			}
+			pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
+			if err != nil {
+				return fmt.Errorf("analysis: %s at p=%d f=%v: %w", v.Name, p, f, err)
+			}
+			visit(Point{P: p, Freq: f, N: n, Prediction: pr})
+		}
+	}
+	if !seen {
+		return fmt.Errorf("analysis: no valid parallelism in %v (cluster holds %d ranks)", ps, spec.MaxRanks())
+	}
+	return nil
+}
+
+// OptimizeUnderPowerBudgetBy searches the joint (p, f) grid — every
+// parallelism in ps against the spec's whole DVFS ladder — and returns
+// the operating point optimising the objective among those whose average
+// system power stays within budget. Parallelisms beyond the cluster size
+// are skipped rather than recommended, and ties break deterministically
+// (see Objective.Better). A nil ps sweeps powers of two up to the
+// cluster size.
+func OptimizeUnderPowerBudgetBy(spec machine.Spec, v app.Vector, n float64, ps []int, budget units.Watts, obj Objective) (OperatingPoint, error) {
 	if budget <= 0 {
 		return OperatingPoint{}, fmt.Errorf("analysis: power budget %v must be positive", budget)
 	}
 	best := OperatingPoint{}
-	for _, p := range ps {
-		for _, f := range spec.Frequencies {
-			mp, err := spec.AtFrequency(f)
-			if err != nil {
-				return OperatingPoint{}, err
-			}
-			pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
-			if err != nil {
-				return OperatingPoint{}, err
-			}
-			if pr.AvgPower > budget {
-				continue
-			}
-			if !best.Feasible || pr.Tp < best.Tp {
-				best = OperatingPoint{
-					Point:    Point{P: p, Freq: f, N: n, Prediction: pr},
-					Feasible: true,
-				}
-			}
+	err := ForEachOperatingPoint(spec, v, n, ps, func(pt Point) {
+		if pt.AvgPower > budget {
+			return
 		}
+		if !best.Feasible || obj.Better(pt, best.Point) {
+			best = OperatingPoint{Point: pt, Feasible: true}
+		}
+	})
+	if err != nil {
+		return OperatingPoint{}, err
 	}
 	if !best.Feasible {
 		return best, fmt.Errorf("analysis: no (p, f) meets the %v budget for %s at n=%g", budget, v.Name, n)
 	}
 	return best, nil
+}
+
+// OptimizeUnderPowerBudget is OptimizeUnderPowerBudgetBy with the
+// MinTime objective — "power-constrained parallel computation" made
+// concrete: the fastest operating point that respects the budget.
+func OptimizeUnderPowerBudget(spec machine.Spec, v app.Vector, n float64, ps []int, budget units.Watts) (OperatingPoint, error) {
+	return OptimizeUnderPowerBudgetBy(spec, v, n, ps, budget, MinTime)
 }
 
 // PerformanceIsoN is the Grama-baseline counterpart of IsoEnergyN: the

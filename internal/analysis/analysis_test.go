@@ -208,3 +208,100 @@ func coreModel(mp machine.Params, v app.Vector, n float64, p int) (float64, erro
 	}
 	return pr.EE, nil
 }
+
+func TestForEachOperatingPointGrid(t *testing.T) {
+	visits := 0
+	// p=0 and an absurd p are skipped; only p=4 survives.
+	err := ForEachOperatingPoint(sysG, app.FT(20), 1<<20, []int{0, 4, 1 << 30}, func(Point) { visits++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visits != len(sysG.Frequencies) {
+		t.Fatalf("want one visit per ladder frequency (%d), got %d", len(sysG.Frequencies), visits)
+	}
+	// A list with no valid parallelism is an error, not a silent no-op.
+	if err := ForEachOperatingPoint(sysG, app.FT(20), 1<<20, []int{0}, func(Point) {}); err == nil {
+		t.Fatal("all-invalid parallelism list must error")
+	}
+	// nil sweeps the power-of-two default.
+	visits = 0
+	if err := ForEachOperatingPoint(sysG, app.EP(), 1e8, nil, func(Point) { visits++ }); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(DefaultParallelisms(sysG)) * len(sysG.Frequencies); visits != want {
+		t.Fatalf("default sweep visited %d points, want %d", visits, want)
+	}
+}
+
+func TestDefaultParallelisms(t *testing.T) {
+	ps := DefaultParallelisms(sysG)
+	if ps[0] != 1 {
+		t.Fatalf("sweep must start at 1: %v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] != 2*ps[i-1] {
+			t.Fatalf("not a power-of-two sweep: %v", ps)
+		}
+	}
+	if ps[len(ps)-1] > sysG.MaxRanks() {
+		t.Fatalf("sweep exceeds cluster size: %v", ps)
+	}
+}
+
+func TestOptimizeObjectives(t *testing.T) {
+	v := app.CG(11, 15)
+	n := 75000.0
+	budget := units.Watts(2000)
+	minT, err := OptimizeUnderPowerBudgetBy(sysG, v, n, ps, budget, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxE, err := OptimizeUnderPowerBudgetBy(sysG, v, n, ps, budget, MaxEE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minJ, err := OptimizeUnderPowerBudgetBy(sysG, v, n, ps, budget, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []OperatingPoint{minT, maxE, minJ} {
+		if !op.Feasible || op.AvgPower > budget {
+			t.Fatalf("objective returned infeasible point: %+v", op)
+		}
+	}
+	if minT.Tp > maxE.Tp || minT.Tp > minJ.Tp {
+		t.Fatalf("MinTime must be fastest: %v vs %v, %v", minT.Tp, maxE.Tp, minJ.Tp)
+	}
+	if minJ.Ep > maxE.Ep || minJ.Ep > minT.Ep {
+		t.Fatalf("MinEnergy must be cheapest: %v vs %v, %v", minJ.Ep, maxE.Ep, minT.Ep)
+	}
+	if maxE.EE+0.005 < minT.EE || maxE.EE+0.005 < minJ.EE {
+		t.Fatalf("MaxEE must be within a bin of the best EE: %v vs %v, %v", maxE.EE, minT.EE, minJ.EE)
+	}
+}
+
+func TestObjectiveBetterDeterministicTieBreak(t *testing.T) {
+	a := Point{P: 4, Freq: 2.0 * units.GHz}
+	b := Point{P: 4, Freq: 2.8 * units.GHz}
+	// Identical predictions: the lower frequency must win for every
+	// objective, regardless of argument order.
+	for _, obj := range []Objective{MinTime, MaxEE, MinEnergy} {
+		if !obj.Better(a, b) || obj.Better(b, a) {
+			t.Fatalf("%v: tie must break to the lower frequency", obj)
+		}
+	}
+}
+
+func TestOptimizeSkipsOversizedParallelism(t *testing.T) {
+	// A tiny spec: p beyond MaxRanks must not be recommended.
+	small := sysG
+	small.CoresPerNode = 1
+	small.Nodes = 8
+	op, err := OptimizeUnderPowerBudget(small, app.EP(), 1e8, []int{4, 512}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.P != 4 {
+		t.Fatalf("p=512 exceeds the 8-rank cluster; want p=4, got p=%d", op.P)
+	}
+}

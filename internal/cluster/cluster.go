@@ -139,6 +139,19 @@ type Cluster struct {
 	shmModel netmodel.Model
 
 	inflight []inflightOp // per rank: the operation currently executing
+	banks    []energyBank // per rank: energy banked at past operating points
+}
+
+// energyBank accumulates the energy a rank dissipated at earlier DVFS
+// operating points. SetRankFrequency banks the interval since the last
+// change at the outgoing parameters, so the energy decomposition stays
+// exact piecewise even though params[rank] only holds the current vector.
+// All-zero banks (no mid-run frequency change) reproduce the original
+// single-operating-point accounting bit for bit.
+type energyBank struct {
+	idle, cpu, mem, io units.Joules
+	tBase              units.Seconds // idle power integrated up to here
+	busyBase           ComponentBusy // busy time priced up to here
 }
 
 // inflightOp describes an operation in progress on a rank so that power
@@ -237,7 +250,47 @@ func New(cfg Config) (*Cluster, error) {
 		c.rankNode[r] = r / coresPerNode
 	}
 	c.inflight = make([]inflightOp, cfg.Ranks)
+	c.banks = make([]energyBank, cfg.Ranks)
 	return c, nil
+}
+
+// SetRankFrequency re-evaluates one rank's machine vector at DVFS
+// frequency f, effective from the current virtual time: operations already
+// in flight keep the durations they were issued with, later operations use
+// the new vector. Energy dissipated so far is banked at the outgoing
+// parameters so TrueEnergy/MeasuredEnergy stay exact across the change.
+// Only clusters built from a homogeneous Spec support mid-run DVFS.
+func (c *Cluster) SetRankFrequency(rank int, f units.Hertz) error {
+	r := c.checkRank(rank)
+	if c.cfg.PerRank != nil {
+		return fmt.Errorf("cluster: SetRankFrequency needs a homogeneous Spec (cluster was built from PerRank vectors)")
+	}
+	if c.params[r].Freq == f {
+		return nil
+	}
+	mp, err := c.cfg.Spec.AtFrequency(f)
+	if err != nil {
+		return err
+	}
+	c.bankRank(r)
+	c.params[r] = mp
+	return nil
+}
+
+// bankRank integrates rank r's energy since its last banking point at the
+// rank's current parameters and advances the banking point to now. The
+// busy baseline uses BusySnapshot, which attributes in-flight operations
+// pro rata, so the portion of an in-flight operation executed before a
+// frequency change is priced at the outgoing power deltas.
+func (c *Cluster) bankRank(r int) {
+	bk := &c.banks[r]
+	idle, cpu, mem, io, cur := c.componentEnergySince(r, bk.tBase, bk.busyBase)
+	bk.idle += idle
+	bk.cpu += cpu
+	bk.mem += mem
+	bk.io += io
+	bk.tBase = c.kernel.Now()
+	bk.busyBase = cur
 }
 
 // Kernel returns the simulation kernel; callers spawn rank processes on it.
@@ -304,8 +357,19 @@ func (c *Cluster) noteEnd(t units.Seconds) {
 // time (with execution jitter) while counters accumulate the un-overlapped
 // busy times used by the energy model.
 func (c *Cluster) Compute(p *sim.Proc, rank int, onChip, offChip float64) {
+	c.ComputeAlpha(p, rank, onChip, offChip, c.alpha)
+}
+
+// ComputeAlpha is Compute with an explicit overlap factor, for callers
+// that multiplex workloads with different α onto one shared cluster (the
+// power-budget scheduler runs one job per rank set, each with its own
+// application vector). alpha must lie in (0,1].
+func (c *Cluster) ComputeAlpha(p *sim.Proc, rank int, onChip, offChip, alpha float64) {
 	if onChip < 0 || offChip < 0 {
 		panic(fmt.Sprintf("cluster: negative workload (%g,%g)", onChip, offChip))
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("cluster: overlap factor α=%g outside (0,1]", alpha))
 	}
 	mp := c.params[c.checkRank(rank)]
 	dc := c.jitter(units.Seconds(onChip*float64(mp.Tc)), c.cfg.Noise.ComputeJitter)
@@ -315,7 +379,7 @@ func (c *Cluster) Compute(p *sim.Proc, rank int, onChip, offChip float64) {
 	ctr.AddCompute(onChip)
 	ctr.AddMemory(offChip)
 
-	wall := units.Seconds(c.alpha * float64(dc+dm))
+	wall := units.Seconds(alpha * float64(dc+dm))
 	now := c.kernel.Now()
 	c.inflight[rank] = inflightOp{start: now, end: now + wall, dc: dc, dm: dm}
 	p.Sleep(wall)

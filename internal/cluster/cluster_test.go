@@ -356,3 +356,60 @@ func TestRankOutOfRangePanics(t *testing.T) {
 		t.Fatal("out-of-range rank must abort the run")
 	}
 }
+
+// Mid-run DVFS: energy banked at the outgoing operating point must price
+// each phase at the parameters it executed under.
+func TestSetRankFrequencyMidRunEnergy(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	c.Kernel().Spawn("dvfs", func(p *sim.Proc) {
+		c.Compute(p, 0, 1e6, 0) // 1 ms at 2 GHz, ΔPc = 20 W
+		if err := c.SetRankFrequency(0, 1*units.GHz); err != nil {
+			t.Error(err)
+		}
+		c.Compute(p, 0, 1e6, 0) // 2 ms at 1 GHz, ΔPc = 5 W
+	})
+	if err := c.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.TrueEnergy()
+	wantWall := 3 * units.Millisecond
+	if math.Abs(float64(rep.Wall-wantWall)) > 1e-12 {
+		t.Fatalf("wall %v, want %v", rep.Wall, wantWall)
+	}
+	// CPU: 20 W × 1 ms + 5 W × 2 ms = 0.03 J (a single-operating-point
+	// accounting would misprice the first phase at the final ΔPc).
+	if got, want := float64(rep.CPU), 0.03; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("piecewise CPU energy %g J, want %g J", got, want)
+	}
+	// Idle is frequency-flat on the test spec: 100 W × 3 ms.
+	if got, want := float64(rep.Idle), 0.3; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("idle energy %g J, want %g J", got, want)
+	}
+	if c.Params(0).Freq != 1*units.GHz {
+		t.Fatalf("rank frequency not updated: %v", c.Params(0).Freq)
+	}
+}
+
+func TestSetRankFrequencyValidation(t *testing.T) {
+	base := testSpec().MustBase()
+	het := mustNew(t, Config{Ranks: 1, PerRank: []machine.Params{base}})
+	if err := het.SetRankFrequency(0, 1*units.GHz); err == nil {
+		t.Error("PerRank clusters must not support SetRankFrequency")
+	}
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	if err := c.SetRankFrequency(0, -1); err == nil {
+		t.Error("negative frequency must fail")
+	}
+	// Same-frequency call is a no-op, not an error.
+	if err := c.SetRankFrequency(0, testSpec().BaseFreq); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeAlphaValidation(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	c.Kernel().Spawn("bad", func(p *sim.Proc) { c.ComputeAlpha(p, 0, 1, 0, 1.5) })
+	if err := c.Kernel().Run(); err == nil {
+		t.Fatal("α outside (0,1] must abort the run")
+	}
+}

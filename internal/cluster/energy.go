@@ -30,16 +30,57 @@ func (e EnergyReport) String() string {
 	return b.String()
 }
 
-// energy computes the exact (noise-free) energy decomposition.
+// componentEnergySince integrates one rank's dissipation from a past
+// banking point (time plus busy snapshot) to now, priced at the rank's
+// current machine vector, and returns the current snapshot for the
+// caller's next baseline. Busy deltas come from BusySnapshot, which
+// attributes in-flight operations pro rata, so the deltas are monotone
+// even across a mid-operation banking point. Shared by the cluster's own
+// DVFS energy banks and external per-rank meters (EnergySince).
+func (c *Cluster) componentEnergySince(r int, since units.Seconds, base ComponentBusy) (idle, cpu, mem, io units.Joules, cur ComponentBusy) {
+	cur = c.BusySnapshot(r)
+	mp := c.params[r]
+	idle = units.Energy(mp.PsysIdle, c.kernel.Now()-since)
+	cpu = units.Energy(mp.DeltaPc, cur.Compute-base.Compute)
+	mem = units.Energy(mp.DeltaPm, cur.Memory-base.Memory)
+	io = units.Energy(mp.DeltaPio, cur.IO-base.IO)
+	return idle, cpu, mem, io, cur
+}
+
+// EnergySince returns the total energy rank r dissipated since a banking
+// point the caller recorded (a time and the BusySnapshot taken then),
+// priced at the rank's current machine vector, plus the snapshot to use
+// as the next baseline. Callers tracking piecewise energy across DVFS
+// retunes (the sched package's per-job meters) bank with this before
+// every SetRankFrequency.
+func (c *Cluster) EnergySince(rank int, since units.Seconds, base ComponentBusy) (units.Joules, ComponentBusy) {
+	idle, cpu, mem, io, cur := c.componentEnergySince(c.checkRank(rank), since, base)
+	return idle + cpu + mem + io, cur
+}
+
+// energy computes the exact (noise-free) energy decomposition. Each rank
+// contributes its banked energy from earlier DVFS operating points plus
+// the tail since the last frequency change priced at the current vector;
+// with no mid-run frequency changes the banks are zero and this reduces
+// to the single-operating-point decomposition of Eq. 7–9. Idle power is
+// integrated to the makespan, or to the last frequency change if that
+// came later (a rank switched while the cluster idles still draws power).
+// Busy tails use BusySnapshot so a mid-operation query stays monotone
+// (in-flight work counts pro rata, never negatively).
 func (c *Cluster) energy() EnergyReport {
 	rep := EnergyReport{Wall: c.wallEnd, Ranks: c.Ranks()}
 	for r := 0; r < c.Ranks(); r++ {
 		mp := c.params[r]
-		ctr := c.counters.Rank(r)
-		rep.Idle += units.Energy(mp.PsysIdle, rep.Wall)
-		rep.CPU += units.Energy(mp.DeltaPc, ctr.ComputeTime)
-		rep.Memory += units.Energy(mp.DeltaPm, ctr.MemoryTime)
-		rep.IO += units.Energy(mp.DeltaPio, ctr.IOTime)
+		busy := c.BusySnapshot(r)
+		bk := c.banks[r]
+		idleTail := rep.Wall - bk.tBase
+		if idleTail < 0 {
+			idleTail = 0
+		}
+		rep.Idle += bk.idle + units.Energy(mp.PsysIdle, idleTail)
+		rep.CPU += bk.cpu + units.Energy(mp.DeltaPc, busy.Compute-bk.busyBase.Compute)
+		rep.Memory += bk.mem + units.Energy(mp.DeltaPm, busy.Memory-bk.busyBase.Memory)
+		rep.IO += bk.io + units.Energy(mp.DeltaPio, busy.IO-bk.busyBase.IO)
 	}
 	rep.Total = rep.Idle + rep.CPU + rep.Memory + rep.IO
 	return rep

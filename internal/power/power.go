@@ -51,7 +51,24 @@ type Profiler struct {
 	prev    []cluster.ComponentBusy // per tracked rank
 	prevT   units.Seconds
 	samples []Sample
+
+	onSample  func(Sample)
+	keepAlive func() bool
 }
+
+// OnSample registers fn to run in kernel context immediately after each
+// sample is recorded — the subscription point for runtime controllers
+// (the sched package's DVFS governor closes its control loop here). At
+// most one subscriber; a second call replaces the first.
+func (p *Profiler) OnSample(fn func(Sample)) { p.onSample = fn }
+
+// KeepSampling keeps the sampling loop armed while alive() returns true
+// even when no simulated process is currently live. Without it the
+// profiler stops at the first idle gap, which is correct for single-run
+// profiling but loses samples between job arrivals in scheduler traces.
+// alive is polled at every tick; once it returns false (and no process is
+// live) the loop stops and the kernel can drain.
+func (p *Profiler) KeepSampling(alive func() bool) { p.keepAlive = alive }
 
 // Attach registers a profiler sampling every interval, aggregating the
 // given ranks (all ranks if none specified). Power is attributed per
@@ -82,9 +99,10 @@ func Attach(cl *cluster.Cluster, interval units.Seconds, noisy bool, ranks ...in
 // tick runs in kernel context at every sample time.
 func (p *Profiler) tick() {
 	p.record()
-	// Keep sampling while application processes are alive; the final
-	// tick after the last process exits captures the trailing window.
-	if p.cl.Kernel().LiveProcs() > 0 {
+	// Keep sampling while application processes are alive (the final
+	// tick after the last process exits captures the trailing window),
+	// or while a KeepSampling subscriber still wants samples.
+	if p.cl.Kernel().LiveProcs() > 0 || (p.keepAlive != nil && p.keepAlive()) {
 		p.cl.Kernel().After(p.interval, p.tick)
 	}
 }
@@ -116,6 +134,9 @@ func (p *Profiler) record() {
 	}
 	s.Total = s.CPU + s.Memory + s.IO + s.Other
 	p.samples = append(p.samples, s)
+	if p.onSample != nil {
+		p.onSample(s)
+	}
 }
 
 // meter perturbs a reading by ±1.5 % RMS like a physical power meter.

@@ -247,3 +247,39 @@ func TestSubsetRanks(t *testing.T) {
 		}
 	}
 }
+
+// OnSample delivers every recorded sample in order, and KeepSampling
+// keeps the grid alive through process-free gaps.
+func TestOnSampleAndKeepSampling(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{Spec: testSpec(), Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Attach(cl, units.Millisecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []Sample
+	prof.OnSample(func(s Sample) { seen = append(seen, s) })
+	stop := 20 * units.Millisecond
+	prof.KeepSampling(func() bool { return cl.Kernel().Now() < stop })
+	cl.Kernel().Spawn("work", func(p *sim.Proc) {
+		cl.Compute(p, 0, 1e7, 0) // 10 ms of compute, then a 10 ms gap
+	})
+	if err := cl.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	samples := prof.Profile().Samples
+	if len(seen) != len(samples) {
+		t.Fatalf("subscriber saw %d of %d samples", len(seen), len(samples))
+	}
+	last := samples[len(samples)-1].T
+	if last < stop {
+		t.Fatalf("sampling stopped at %v; KeepSampling should carry it to ≥ %v", last, stop)
+	}
+	// The trailing, process-free windows must still show idle power.
+	tail := samples[len(samples)-1]
+	if tail.Total <= 0 {
+		t.Fatalf("idle-gap sample lost the idle floor: %+v", tail)
+	}
+}

@@ -1,0 +1,247 @@
+package sched
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Candidate is one admissible (p, f) operating point for a job, with the
+// scheduler-side power cost attached.
+type Candidate struct {
+	analysis.Point
+	// Cost is the marginal sustained draw of starting the job: its rank
+	// set's worst-case draw minus the parked idle power those ranks
+	// were already burning.
+	Cost units.Watts
+}
+
+// drawPerRank returns the conservative sustained power of one rank
+// executing workload w (already evaluated at the job's (n, p)) at DVFS
+// frequency f: the rank's idle power at f plus the largest active-delta
+// draw any compute/memory utilisation mix the job can exhibit produces.
+//
+// The active term is the paper's Eq. 8–9 read as an instantaneous rate:
+// during a compute slice of per-rank busy times (dc, dm), wall time is
+// α·(dc+dm), so the sustained active draw is
+//
+//	(dc·ΔPc + dm·ΔPm) / (α·(dc+dm)).
+//
+// dc depends on which frequency the in-flight slice was issued at, and a
+// governor retune mid-slice prices the old mix at the new ΔPc — so the
+// envelope evaluates dc at the ladder extremes as well as at f and takes
+// the maximum. Admission and the governor both use this bound, which is
+// what lets the scheduler guarantee zero cap violations: the measured
+// draw of any sampling window is a convex mix of states this envelope
+// dominates. Communication and idle phases only dilute utilisation, so
+// they never exceed it.
+func (s *Scheduler) drawPerRank(w core.Workload, f units.Hertz) units.Watts {
+	mp := s.paramsAt[f]
+	p := float64(w.P)
+	dm := (w.WOff + w.DWOff) / p * float64(mp.Tm)
+	active := 0.0
+	for _, g := range [3]units.Hertz{s.ladder[0], f, s.ladder[len(s.ladder)-1]} {
+		dc := (w.WOn + w.DWOn) / p * float64(s.paramsAt[g].Tc)
+		if dc+dm <= 0 {
+			continue
+		}
+		a := (dc*float64(mp.DeltaPc) + dm*float64(mp.DeltaPm)) / (w.Alpha * (dc + dm))
+		if a > active {
+			active = a
+		}
+	}
+	return mp.PsysIdle + units.Watts(active)
+}
+
+// perfSlack returns the effective admission width-slack factor.
+func (s *Scheduler) perfSlack() float64 {
+	switch {
+	case s.cfg.PerfSlack == 0:
+		return 1.3
+	case s.cfg.PerfSlack < 1:
+		return 1
+	default:
+		return s.cfg.PerfSlack
+	}
+}
+
+// jobDraw returns the absolute sustained draw of a whole job at (w, f).
+func (s *Scheduler) jobDraw(w core.Workload, f units.Hertz) units.Watts {
+	return units.Watts(float64(w.P) * float64(s.drawPerRank(w, f)))
+}
+
+// marginalCost is jobDraw minus the parked idle power the job's ranks
+// already draw — the admission currency measured against headroom.
+func (s *Scheduler) marginalCost(w core.Workload, f units.Hertz) units.Watts {
+	m := s.jobDraw(w, f) - units.Watts(float64(w.P)*float64(s.idleMin))
+	if m < 0 {
+		m = 0
+	}
+	return m
+}
+
+// candidateAt prices one explicit (p, f) point for a job.
+func (s *Scheduler) candidateAt(j Job, p int, f units.Hertz) (Candidate, bool) {
+	mp, ok := s.paramsAt[f]
+	if !ok {
+		return Candidate{}, false
+	}
+	w := j.Vector.At(j.N, p)
+	pr, err := core.Model{Machine: mp, App: w}.Predict()
+	if err != nil {
+		return Candidate{}, false
+	}
+	return Candidate{
+		Point: analysis.Point{P: p, Freq: f, N: j.N, Prediction: pr},
+		Cost:  s.marginalCost(w, f),
+	}, true
+}
+
+// bestCandidate searches the joint grid of the job's candidate widths ×
+// the DVFS ladder for the best point under the objective whose marginal
+// cost fits the power budget. The enumeration is
+// analysis.ForEachOperatingPoint — the same grid the offline optimiser
+// scans — so admission and offline analysis agree on the search space.
+//
+// Three rules shape the selection before the objective decides:
+//
+//   - Width slack. Maximising EE alone degenerates to p=1 (a serial
+//     run has no parallel overhead, EE = 1) and would trade arbitrary
+//     runtime for marginal energy. A width is eligible only if its
+//     best runtime over the ladder stays within PerfSlack × the job's
+//     unconstrained fastest runtime — the best its full width range
+//     achieves on an empty cluster, so congestion cannot erode the
+//     reference. The rule binds width, not frequency: width is fixed
+//     for the job's lifetime, while a low admission frequency is a
+//     recoverable loan the governor repays by boosting the job up the
+//     ladder as watts free.
+//   - Waiting beats crawling. When no eligible-width point fits the
+//     budget, the job is not admitted: it waits for capacity rather
+//     than locking in a degraded shape. (Molding the job narrower the
+//     moment ranks are scarce looks attractive locally but loses
+//     fleet-wide: the narrow run occupies ranks and watts that delay
+//     every other queued job, a price the per-job comparison cannot
+//     see.) A relaxed pass drops the rule when the whole cluster is
+//     idle and waiting could never help — see Scheduler.tryAdmit.
+//   - Deadlines. Among eligible points, ones that meet the job's
+//     deadline (when it has one) win over ones that do not.
+func (s *Scheduler) bestCandidate(j Job, freeRanks int, budget units.Watts, obj analysis.Objective, now units.Seconds, relaxed bool) (Candidate, bool) {
+	ws := j.widths(freeRanks)
+	if len(ws) == 0 || budget <= 0 {
+		return Candidate{}, false
+	}
+	refTp, ok := s.referenceTp(j)
+	if !ok {
+		return Candidate{}, false
+	}
+	var cands []Candidate
+	fastestByP := make(map[int]units.Seconds, len(ws))
+	err := analysis.ForEachOperatingPoint(s.cfg.Spec, j.Vector, j.N, ws, func(pt analysis.Point) {
+		if cur, ok := fastestByP[pt.P]; !ok || pt.Tp < cur {
+			fastestByP[pt.P] = pt.Tp
+		}
+		w := j.Vector.At(j.N, pt.P)
+		cost := s.marginalCost(w, pt.Freq)
+		if cost > budget {
+			return
+		}
+		cands = append(cands, Candidate{Point: pt, Cost: cost})
+	})
+	if err != nil || len(cands) == 0 {
+		return Candidate{}, false
+	}
+	maxTp := units.Seconds(float64(refTp) * s.perfSlack())
+	var best, bestDL Candidate
+	found, foundDL := false, false
+	for _, c := range cands {
+		if !relaxed && fastestByP[c.P] > maxTp {
+			continue
+		}
+		if !found || obj.Better(c.Point, best.Point) {
+			best, found = c, true
+		}
+		if j.Deadline > 0 && now+c.Tp <= j.Arrival+j.Deadline {
+			if !foundDL || obj.Better(c.Point, bestDL.Point) {
+				bestDL, foundDL = c, true
+			}
+		}
+	}
+	if foundDL {
+		return bestDL, true
+	}
+	return best, found
+}
+
+// fullFastest returns (caching per job) the fastest runtime over the
+// DVFS ladder for every width in the job's full range on the whole
+// cluster, independent of what is currently free or affordable.
+func (s *Scheduler) fullFastest(j Job) map[int]units.Seconds {
+	if m, ok := s.refFastest[j.ID]; ok {
+		return m
+	}
+	m := make(map[int]units.Seconds)
+	err := analysis.ForEachOperatingPoint(s.cfg.Spec, j.Vector, j.N, j.widths(s.cl.Ranks()), func(pt analysis.Point) {
+		if cur, ok := m[pt.P]; !ok || pt.Tp < cur {
+			m[pt.P] = pt.Tp
+		}
+	})
+	if err != nil {
+		m = nil
+	}
+	s.refFastest[j.ID] = m
+	return m
+}
+
+// referenceTp returns the unconstrained fastest runtime over the job's
+// full width range on the whole cluster — the service-quality yardstick
+// the width-slack rule measures against.
+func (s *Scheduler) referenceTp(j Job) (units.Seconds, bool) {
+	min := units.Seconds(0)
+	for _, tp := range s.fullFastest(j) {
+		if min == 0 || tp < min {
+			min = tp
+		}
+	}
+	return min, min > 0
+}
+
+// ladderProfile precomputes, for a job admitted at width p, the model EE
+// and absolute draw at every ladder frequency — the governor consults it
+// on every retune decision instead of re-running the model.
+type ladderProfile struct {
+	ee   []float64
+	ep   []units.Joules
+	draw []units.Watts
+	tp   []units.Seconds
+}
+
+func (s *Scheduler) profileLadder(j Job, p int) (ladderProfile, bool) {
+	lp := ladderProfile{
+		ee:   make([]float64, len(s.ladder)),
+		ep:   make([]units.Joules, len(s.ladder)),
+		draw: make([]units.Watts, len(s.ladder)),
+		tp:   make([]units.Seconds, len(s.ladder)),
+	}
+	w := j.Vector.At(j.N, p)
+	for i, f := range s.ladder {
+		pr, err := core.Model{Machine: s.paramsAt[f], App: w}.Predict()
+		if err != nil {
+			return ladderProfile{}, false
+		}
+		lp.ee[i] = pr.EE
+		lp.ep[i] = pr.Ep
+		lp.draw[i] = s.jobDraw(w, f)
+		lp.tp[i] = pr.Tp
+	}
+	return lp, true
+}
+
+// ladderIndex maps a frequency to its position on the spec's ladder.
+func (s *Scheduler) ladderIndex(f units.Hertz) int {
+	for i, g := range s.ladder {
+		if g == f {
+			return i
+		}
+	}
+	return -1
+}

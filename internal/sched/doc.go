@@ -1,0 +1,40 @@
+// Package sched is the power-budget cluster scheduler: the runtime layer
+// that turns the iso-energy-efficiency model from a single-job planning
+// tool into a system serving a stream of jobs under a shared cluster
+// power cap — the "power-constrained parallel computation" of the
+// paper's title at fleet scale.
+//
+// The subsystem splits into two cooperating halves (DESIGN.md §6):
+//
+//   - An admission controller. When capacity frees up (job arrival or
+//     completion), the configured Policy picks which queued jobs start
+//     and at which (p, f) operating point, using the same joint-grid
+//     search the offline optimiser uses
+//     (analysis.ForEachOperatingPoint). Admission is conservative: a
+//     job's power cost is its sustained worst-case draw (envelope over
+//     the DVFS ladder, see admission.go), so the measured cluster draw
+//     can never exceed the cap between control actions.
+//
+//   - A runtime DVFS governor. A power.Profiler samples the simulated
+//     cluster on a fixed virtual-time grid; the governor subscribes to
+//     those samples, audits them against the cap (counting violations),
+//     and — for DVFS-capable policies — throttles jobs when the
+//     predicted draw exceeds the cap and boosts jobs back up the ladder
+//     when headroom frees, but only where the model says the job's
+//     iso-energy-efficiency does not degrade. Frequency changes take
+//     effect mid-run through cluster.SetRankFrequency.
+//
+// Jobs execute as real discrete-event work on the shared cluster: each
+// assigned rank runs the job's per-rank workload share in slices through
+// cluster.ComputeAlpha, so per-component busy time, the power trace, and
+// the energy decomposition all come from the same substrate the NPB
+// kernels use, and a governor frequency change re-prices the remaining
+// slices automatically.
+//
+// Three shipped policies bracket the design space: FIFO at uniform base
+// frequency (the baseline every batch system implements), greedy EE-max
+// (admit in priority order at the operating point maximising EE), and an
+// iso-energy-efficiency-aware fair share (the cap is divided among
+// waiting jobs in proportion to priority, each share optimised for EE).
+// cmd/schedrun races the policies head to head on one synthetic trace.
+package sched

@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// governor is the runtime half of the scheduler: it subscribes to the
+// power profiler's virtual-time samples, audits the measured cluster
+// draw against the cap, and — when the policy permits DVFS — walks
+// running jobs up and down the frequency ladder so the draw tracks the
+// cap from below.
+//
+// Control is model-predictive rather than purely reactive: decisions
+// compare the conservative predicted draw (admission.go) against the
+// cap, so an action can never itself cause a violation; the measured
+// samples close the loop as the audit trail (violation counting) and as
+// the trigger for emergency throttling should the prediction ever be
+// overrun (e.g. under execution noise).
+type governor struct {
+	s *Scheduler
+
+	violations int
+	samples    int
+	peak       units.Watts
+}
+
+// capEpsilon absorbs float rounding when auditing samples against the
+// cap; anything beyond one part in 10⁹ is a real violation.
+const capEpsilon = 1e-9
+
+// onSample runs in kernel context after every recorded power sample.
+func (g *governor) onSample(sm power.Sample) {
+	g.samples++
+	if sm.Total > g.peak {
+		g.peak = sm.Total
+	}
+	cap := g.s.cfg.Cap
+	if float64(sm.Total) > float64(cap)*(1+capEpsilon) {
+		g.violations++
+	}
+	if !g.s.cfg.Policy.DVFS() {
+		return
+	}
+	g.throttle()
+	if len(g.s.running) > 0 {
+		g.boost()
+	}
+}
+
+// throttle steps jobs down the ladder until the predicted draw fits the
+// cap. Victims are picked deterministically: lowest priority first, then
+// the job shedding the most power per step, then highest ID. With
+// conservative admission this loop is normally idle; it exists for cap
+// reductions, noise, and defence in depth.
+func (g *governor) throttle() {
+	for g.s.predictedTotal() > g.s.cfg.Cap {
+		var victim *runningJob
+		var saving units.Watts
+		for _, rj := range g.sorted() {
+			if rj.fIdx == 0 {
+				continue
+			}
+			sv := rj.prof.draw[rj.fIdx] - rj.prof.draw[rj.fIdx-1]
+			if victim == nil ||
+				rj.e.job.priority() < victim.e.job.priority() ||
+				(rj.e.job.priority() == victim.e.job.priority() && sv > saving) {
+				victim, saving = rj, sv
+			}
+		}
+		if victim == nil {
+			return // everything already at the ladder floor
+		}
+		g.retune(victim, victim.fIdx-1)
+	}
+}
+
+// boost walks jobs back up the ladder while power headroom allows it,
+// highest priority first. Two regimes:
+//
+//   - Contended (jobs waiting in the queue): only steps the model says
+//     improve the job's iso-energy-efficiency are taken — headroom is
+//     reserved for admissions, and jobs whose EE falls with frequency
+//     are left alone, which is what keeps the fleet's energy-per-job
+//     down. Jobs admitted below their EE-optimal frequency because the
+//     cluster was busy recover it here as capacity frees.
+//   - Blocked (the last admission pass left jobs queued): no admission
+//     can spend the watts before the next scheduling event, so they are
+//     loaned to running jobs — but only onto steps the model predicts
+//     do not increase the job's own energy, so cheap watts never buy
+//     expensive joules. The relinquish pass below hands loaned watts
+//     back the moment admission wants them.
+//   - Drain (empty queue): the trace is ending, the idle floor burns
+//     until the last job completes, and every spare second of makespan
+//     costs the whole cluster's idle energy — so the governor races to
+//     idle: any step up the ladder that fits under the cap is taken.
+func (g *governor) boost() {
+	drain := len(g.s.queue) == 0
+	blocked := g.s.blocked
+	if !drain && !blocked {
+		return
+	}
+	for {
+		changed := false
+		for _, rj := range g.sorted() {
+			next := rj.fIdx + 1
+			if next >= len(g.s.ladder) {
+				continue
+			}
+			eeGain := rj.prof.ee[next] > rj.prof.ee[rj.fIdx]+1e-12
+			epGain := rj.prof.ep[next] <= rj.prof.ep[rj.fIdx]
+			if !drain && !eeGain && !epGain {
+				continue
+			}
+			cost := rj.prof.draw[next] - rj.prof.draw[rj.fIdx]
+			if cost > g.s.headroom() {
+				continue
+			}
+			g.retune(rj, next)
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// relinquish steps every job running above its EE-preferred frequency
+// back down to it (never below the admitted point), returning
+// race-to-idle watts to the admission pool. The scheduler calls it
+// before each admission pass while jobs are waiting; watts are worth
+// more spent on starting queued work at an efficient point than on
+// overclocking running work past its EE optimum.
+func (g *governor) relinquish() {
+	if len(g.s.queue) == 0 {
+		return
+	}
+	for _, rj := range g.sorted() {
+		floor := rj.eeIdx
+		if rj.admIdx > floor {
+			floor = rj.admIdx
+		}
+		if rj.fIdx > floor {
+			g.retune(rj, floor)
+		}
+	}
+}
+
+// retune moves a running job to ladder index idx: bank each rank's
+// energy at the outgoing vector, then switch the hardware. Work already
+// in flight keeps its issued duration; subsequent slices use the new
+// vector.
+func (g *governor) retune(rj *runningJob, idx int) {
+	f := g.s.ladder[idx]
+	for _, r := range rj.ranks {
+		rj.energy += g.s.bankMeter(r)
+		if err := g.s.cl.SetRankFrequency(r, f); err != nil {
+			panic(fmt.Sprintf("sched: governor retune rank %d: %v", r, err))
+		}
+	}
+	rj.fIdx = idx
+	rj.e.res.FreqChanges++
+}
+
+// sorted returns the running jobs ordered by priority descending, then
+// job ID — the deterministic traversal order for control decisions.
+func (g *governor) sorted() []*runningJob {
+	out := append([]*runningJob(nil), g.s.running...)
+	sort.Slice(out, func(a, b int) bool {
+		ja, jb := out[a].e.job, out[b].e.job
+		if ja.priority() != jb.priority() {
+			return ja.priority() > jb.priority()
+		}
+		return ja.ID < jb.ID
+	})
+	return out
+}

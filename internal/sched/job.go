@@ -1,0 +1,210 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/app"
+	"repro/internal/units"
+)
+
+// JobState is the lifecycle state of a submitted job.
+type JobState int
+
+const (
+	// Queued: arrived, waiting for ranks and power headroom.
+	Queued JobState = iota
+	// Running: dispatched onto a rank set.
+	Running
+	// Done: completed all work.
+	Done
+	// Rejected: can never run under this cluster and cap.
+	Rejected
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Rejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Job is one unit of work submitted to the scheduler: an application
+// vector at a problem size, a width range, and service metadata.
+type Job struct {
+	// ID orders jobs and must be unique within one Run.
+	ID int
+	// Vector is the application-dependent workload model.
+	Vector app.Vector
+	// N is the problem size the vector is evaluated at.
+	N float64
+	// MinWidth and MaxWidth bound the rank count; policies pick a
+	// power-of-two width inside [MinWidth, MaxWidth] (moldable jobs).
+	// MinWidth zero means 1. A MinWidth above the cluster size makes
+	// the job Rejected.
+	MinWidth, MaxWidth int
+	// Priority weighs the job in admission ordering and in fair-share
+	// power division; zero means 1.
+	Priority int
+	// Arrival is when the job enters the queue (virtual time).
+	Arrival units.Seconds
+	// Deadline, if positive, is the relative completion target; points
+	// that meet Arrival+Deadline are preferred at admission, and misses
+	// are reported in the result.
+	Deadline units.Seconds
+}
+
+func (j Job) validate() error {
+	if j.Vector.WOn == nil {
+		return fmt.Errorf("sched: job %d has no application vector", j.ID)
+	}
+	if j.N <= 0 {
+		return fmt.Errorf("sched: job %d: problem size %g must be positive", j.ID, j.N)
+	}
+	if j.MaxWidth < 1 {
+		return fmt.Errorf("sched: job %d: MaxWidth %d must be ≥ 1", j.ID, j.MaxWidth)
+	}
+	if j.MinWidth > j.MaxWidth {
+		return fmt.Errorf("sched: job %d: MinWidth %d > MaxWidth %d", j.ID, j.MinWidth, j.MaxWidth)
+	}
+	if j.Arrival < 0 || j.Deadline < 0 {
+		return fmt.Errorf("sched: job %d: negative arrival or deadline", j.ID)
+	}
+	return nil
+}
+
+// minWidth returns the effective lower width bound.
+func (j Job) minWidth() int {
+	if j.MinWidth < 1 {
+		return 1
+	}
+	return j.MinWidth
+}
+
+// priority returns the effective priority weight.
+func (j Job) priority() int {
+	if j.Priority < 1 {
+		return 1
+	}
+	return j.Priority
+}
+
+// widths enumerates the candidate rank counts for the job on a cluster
+// with the given free capacity: powers of two within [MinWidth,
+// min(MaxWidth, free)], plus the exact bounds when they are not powers
+// of two themselves.
+func (j Job) widths(free int) []int {
+	lo, hi := j.minWidth(), j.MaxWidth
+	if hi > free {
+		hi = free
+	}
+	if hi < lo {
+		return nil
+	}
+	var ws []int
+	for w := 1; w <= hi; w *= 2 {
+		if w >= lo {
+			ws = append(ws, w)
+		}
+	}
+	if len(ws) == 0 || ws[0] != lo {
+		ws = append([]int{lo}, ws...)
+	}
+	if ws[len(ws)-1] != hi {
+		ws = append(ws, hi)
+	}
+	return ws
+}
+
+// JobResult is the per-job accounting record of one schedule.
+type JobResult struct {
+	Job
+	State JobState
+	// Reason explains a rejection.
+	Reason string
+	// P and StartFreq are the admitted operating point; FreqChanges
+	// counts governor retunes applied after admission.
+	P           int
+	StartFreq   units.Hertz
+	FreqChanges int
+	// Start and End bound the execution; Wait is Start − Arrival.
+	Start, End, Wait units.Seconds
+	// Energy is the measured energy attributed to the job: idle power
+	// of its rank set over its runtime plus the active component deltas
+	// of its executed work, integrated piecewise across retunes.
+	Energy units.Joules
+	// ModelEE is the predicted iso-energy-efficiency at the admitted
+	// operating point.
+	ModelEE float64
+	// DeadlineMet reports End ≤ Arrival+Deadline for jobs with one.
+	DeadlineMet bool
+}
+
+// TraceConfig shapes SyntheticTrace.
+type TraceConfig struct {
+	Jobs int
+	Seed int64
+	// MeanInterarrival spaces arrivals exponentially; zero means 5 ms.
+	MeanInterarrival units.Seconds
+	// MaxWidth caps job widths; zero means 32.
+	MaxWidth int
+}
+
+// SyntheticTrace generates a deterministic mixed workload: the five
+// NPB-style vectors at randomised problem sizes, power-of-two widths,
+// priorities 1–4, exponential arrivals, and a deadline on every fourth
+// job. The same config always yields the same trace.
+func SyntheticTrace(cfg TraceConfig) []Job {
+	if cfg.MeanInterarrival <= 0 {
+		cfg.MeanInterarrival = 5 * units.Millisecond
+	}
+	if cfg.MaxWidth <= 0 {
+		cfg.MaxWidth = 32
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type shape struct {
+		vec        app.Vector
+		nLo, nHi   float64
+		logUniform bool
+	}
+	shapes := []shape{
+		{app.FT(4), 1 << 16, 1 << 19, true},
+		{app.EP(), 1e7, 1e8, true},
+		{app.CG(11, 3), 2e4, 1e5, true},
+		{app.IS(1024, 4), 1 << 16, 1 << 20, true},
+		{app.MG(2), 1 << 15, 1 << 18, true},
+	}
+	jobs := make([]Job, 0, cfg.Jobs)
+	var t units.Seconds
+	for i := 0; i < cfg.Jobs; i++ {
+		sh := shapes[rng.Intn(len(shapes))]
+		n := sh.nLo * math.Exp(rng.Float64()*math.Log(sh.nHi/sh.nLo))
+		width := 1 << (3 + rng.Intn(3)) // 8..32
+		if width > cfg.MaxWidth {
+			width = cfg.MaxWidth
+		}
+		j := Job{
+			ID:       i,
+			Vector:   sh.vec,
+			N:        math.Ceil(n),
+			MaxWidth: width,
+			Priority: 1 + rng.Intn(4),
+			Arrival:  t,
+		}
+		if i%4 == 3 {
+			j.Deadline = 30 // generous; misses indicate pathological queueing
+		}
+		t += units.Seconds(rng.ExpFloat64() * float64(cfg.MeanInterarrival))
+		jobs = append(jobs, j)
+	}
+	return jobs
+}

@@ -1,0 +1,236 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// Policy decides which queued jobs start, and at which (p, f) operating
+// points, whenever cluster capacity changes. Policies are stateless;
+// everything they may inspect or do flows through the AdmitContext.
+type Policy interface {
+	// Name labels the policy in reports.
+	Name() string
+	// DVFS reports whether the runtime governor may retune this
+	// policy's jobs after admission.
+	DVFS() bool
+	// Admit inspects ctx.Pending() and calls ctx.Admit for every job to
+	// start now. The context tracks remaining ranks and headroom as
+	// admissions accumulate.
+	Admit(ctx *AdmitContext)
+}
+
+// AdmitContext is the view of the cluster a Policy decides against, plus
+// the mutation point (Admit) through which decisions are returned.
+type AdmitContext struct {
+	s   *Scheduler
+	now units.Seconds
+
+	free     int
+	headroom units.Watts
+	queue    []Job
+	admitted []admission
+	taken    map[int]bool
+	relaxed  bool
+}
+
+type admission struct {
+	jobID int
+	cand  Candidate
+}
+
+// Spec returns the cluster's node specification.
+func (c *AdmitContext) Spec() machine.Spec { return c.s.cfg.Spec }
+
+// Now returns the current virtual time.
+func (c *AdmitContext) Now() units.Seconds { return c.now }
+
+// Cap returns the cluster power cap.
+func (c *AdmitContext) Cap() units.Watts { return c.s.cfg.Cap }
+
+// TotalRanks returns the provisioned cluster size.
+func (c *AdmitContext) TotalRanks() int { return c.s.cl.Ranks() }
+
+// FreeRanks returns the ranks not yet claimed, including by admissions
+// already made through this context.
+func (c *AdmitContext) FreeRanks() int { return c.free }
+
+// Headroom returns the power still available under the cap after the
+// draws of running jobs and of admissions already made here.
+func (c *AdmitContext) Headroom() units.Watts { return c.headroom }
+
+// Pending returns the arrived, waiting jobs in arrival order, minus
+// those already admitted through this context.
+func (c *AdmitContext) Pending() []Job {
+	out := make([]Job, 0, len(c.queue))
+	for _, j := range c.queue {
+		if !c.taken[j.ID] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Best searches the job's width range × the DVFS ladder for the best
+// operating point under obj whose marginal power cost fits budget
+// (admission.go documents the cost model, the performance-slack rule,
+// and deadline preference). ok is false when the job should wait.
+func (c *AdmitContext) Best(j Job, budget units.Watts, obj analysis.Objective) (Candidate, bool) {
+	return c.s.bestCandidate(j, c.free, budget, obj, c.now, c.relaxed)
+}
+
+// At prices one explicit (p, f) point for the job; ok is false when the
+// point is invalid, needs more ranks than are free, or exceeds the
+// context's remaining headroom.
+func (c *AdmitContext) At(j Job, p int, f units.Hertz) (Candidate, bool) {
+	if p < 1 || p > c.free {
+		return Candidate{}, false
+	}
+	cand, ok := c.s.candidateAt(j, p, f)
+	if !ok || cand.Cost > c.headroom {
+		return Candidate{}, false
+	}
+	return cand, true
+}
+
+// Admit commits the job at the candidate point, deducting its ranks and
+// power from the context. Admitting a job twice, or beyond the free
+// capacity, panics: policies are in-package and this is a logic error.
+func (c *AdmitContext) Admit(j Job, cand Candidate) {
+	if c.taken[j.ID] {
+		panic("sched: job admitted twice in one pass")
+	}
+	if cand.P > c.free || cand.Cost > c.headroom {
+		panic("sched: admission exceeds free ranks or headroom")
+	}
+	c.taken[j.ID] = true
+	c.free -= cand.P
+	c.headroom -= cand.Cost
+	c.admitted = append(c.admitted, admission{jobID: j.ID, cand: cand})
+}
+
+// byPriority orders jobs for the EE-aware policies: priority descending,
+// then arrival, then ID — deterministic for any input permutation.
+func byPriority(jobs []Job) []Job {
+	out := append([]Job(nil), jobs...)
+	sort.SliceStable(out, func(a, b int) bool {
+		ja, jb := out[a], out[b]
+		if ja.priority() != jb.priority() {
+			return ja.priority() > jb.priority()
+		}
+		if ja.Arrival != jb.Arrival {
+			return ja.Arrival < jb.Arrival
+		}
+		return ja.ID < jb.ID
+	})
+	return out
+}
+
+// --- FIFO + uniform frequency (baseline) ---
+
+type fifoPolicy struct{}
+
+// FIFO is the baseline: jobs start in arrival order at their full
+// requested width and the uniform nominal frequency, with first-fit
+// backfill past a blocked head. No DVFS: what every power-oblivious
+// batch scheduler does, plus just enough cap awareness not to violate
+// the budget outright.
+func FIFO() Policy { return fifoPolicy{} }
+
+func (fifoPolicy) Name() string { return "fifo" }
+func (fifoPolicy) DVFS() bool   { return false }
+
+func (fifoPolicy) Admit(ctx *AdmitContext) {
+	base := ctx.Spec().BaseFreq
+	for _, j := range ctx.Pending() {
+		p := j.MaxWidth
+		if p > ctx.TotalRanks() {
+			p = ctx.TotalRanks()
+		}
+		if p < j.minWidth() || p > ctx.FreeRanks() {
+			continue
+		}
+		if cand, ok := ctx.At(j, p, base); ok {
+			ctx.Admit(j, cand)
+		}
+	}
+}
+
+// --- greedy EE-max ---
+
+type eeMaxPolicy struct{}
+
+// EEMax admits in priority order, each job at the operating point
+// maximising predicted iso-energy-efficiency within the remaining power
+// headroom and free ranks; later queue entries backfill whatever the
+// earlier ones left.
+func EEMax() Policy { return eeMaxPolicy{} }
+
+func (eeMaxPolicy) Name() string { return "ee-max" }
+func (eeMaxPolicy) DVFS() bool   { return true }
+
+func (eeMaxPolicy) Admit(ctx *AdmitContext) {
+	for _, j := range byPriority(ctx.Pending()) {
+		if cand, ok := ctx.Best(j, ctx.Headroom(), analysis.MaxEE); ok {
+			ctx.Admit(j, cand)
+		}
+	}
+}
+
+// --- iso-energy-efficiency-aware fair share ---
+
+type fairSharePolicy struct{}
+
+// FairShare divides the available power headroom among the waiting jobs
+// in proportion to priority and gives each job the EE-best operating
+// point that fits its share — wide high-priority work cannot starve the
+// rest of the queue of power the way greedy admission can. A final
+// work-conserving pass keeps the cluster busy when every share is too
+// thin to start anything.
+func FairShare() Policy { return fairSharePolicy{} }
+
+func (fairSharePolicy) Name() string { return "fair-share" }
+func (fairSharePolicy) DVFS() bool   { return true }
+
+func (fairSharePolicy) Admit(ctx *AdmitContext) {
+	pending := byPriority(ctx.Pending())
+	total := 0
+	for _, j := range pending {
+		total += j.priority()
+	}
+	if total == 0 {
+		return
+	}
+	whole := ctx.Headroom()
+	for _, j := range pending {
+		share := units.Watts(float64(whole) * float64(j.priority()) / float64(total))
+		if share > ctx.Headroom() {
+			share = ctx.Headroom()
+		}
+		if cand, ok := ctx.Best(j, share, analysis.MaxEE); ok {
+			ctx.Admit(j, cand)
+		}
+	}
+	// Work conservation: if the shares stranded everything, start the
+	// best single job the full remaining headroom can carry.
+	if len(ctx.admitted) == 0 {
+		for _, j := range pending {
+			if cand, ok := ctx.Best(j, ctx.Headroom(), analysis.MaxEE); ok {
+				ctx.Admit(j, cand)
+				return
+			}
+		}
+	}
+}
+
+// Policies returns the shipped policies keyed by name.
+func Policies() map[string]Policy {
+	return map[string]Policy{
+		"fifo":       FIFO(),
+		"ee-max":     EEMax(),
+		"fair-share": FairShare(),
+	}
+}

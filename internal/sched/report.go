@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Result is the fleet-level accounting of one schedule.
+type Result struct {
+	Policy string
+	Spec   string
+	Ranks  int
+	Cap    units.Watts
+
+	// Jobs holds every submitted job's record, ordered by ID.
+	Jobs []JobResult
+
+	// Makespan is the completion time of the last job (virtual time).
+	Makespan units.Seconds
+	// Completed and Rejected partition the terminal states.
+	Completed, Rejected int
+	// Throughput is completed jobs per second of makespan.
+	Throughput float64
+
+	// TotalEnergy is everything the cluster dissipated while sampled:
+	// job-attributed energy plus ParkedEnergy (idle draw of unassigned
+	// ranks). EnergyPerJob is the completed-job mean of attributed
+	// energy; MeanEE the completed-job mean of admitted model EE.
+	TotalEnergy  units.Joules
+	ParkedEnergy units.Joules
+	EnergyPerJob units.Joules
+	MeanEE       float64
+
+	// MeanWait averages queue waits over completed jobs.
+	MeanWait units.Seconds
+	// DeadlineMisses counts completed jobs that finished past their
+	// deadline (rejected jobs with deadlines also count as misses).
+	DeadlineMisses int
+
+	// Governor audit: power samples taken, samples exceeding the cap,
+	// peak and time-weighted mean measured draw, and total frequency
+	// retunes applied.
+	Samples       int
+	CapViolations int
+	PeakPower     units.Watts
+	MeanPower     units.Watts
+	FreqChanges   int
+}
+
+// collect assembles the Result after the kernel drains.
+func (s *Scheduler) collect() Result {
+	res := Result{
+		Policy: s.cfg.Policy.Name(),
+		Spec:   s.cfg.Spec.Name,
+		Ranks:  s.cl.Ranks(),
+		Cap:    s.cfg.Cap,
+
+		Makespan:     s.cl.Wall(),
+		ParkedEnergy: s.parkedEnergy,
+		TotalEnergy:  s.parkedEnergy,
+
+		Samples:       s.gov.samples,
+		CapViolations: s.gov.violations,
+		PeakPower:     s.gov.peak,
+		MeanPower:     s.prof.Profile().MeanTotal(),
+	}
+	ids := make([]int, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	var waits units.Seconds
+	var energy units.Joules
+	var ee float64
+	for _, id := range ids {
+		r := s.entries[id].res
+		res.Jobs = append(res.Jobs, r)
+		res.TotalEnergy += r.Energy
+		res.FreqChanges += r.FreqChanges
+		switch r.State {
+		case Done:
+			res.Completed++
+			waits += r.Wait
+			energy += r.Energy
+			ee += r.ModelEE
+			if r.Deadline > 0 && !r.DeadlineMet {
+				res.DeadlineMisses++
+			}
+		case Rejected:
+			res.Rejected++
+			if r.Deadline > 0 {
+				res.DeadlineMisses++
+			}
+		}
+	}
+	if res.Completed > 0 {
+		res.EnergyPerJob = units.Joules(float64(energy) / float64(res.Completed))
+		res.MeanEE = ee / float64(res.Completed)
+		res.MeanWait = units.Seconds(float64(waits) / float64(res.Completed))
+	}
+	if res.Makespan > 0 {
+		res.Throughput = float64(res.Completed) / float64(res.Makespan)
+	}
+	return res
+}
+
+// String renders a one-result summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s on %s/%d ranks, cap %v: %d done, %d rejected, makespan %v, energy/job %v, violations %d",
+		r.Policy, r.Spec, r.Ranks, r.Cap, r.Completed, r.Rejected, r.Makespan, r.EnergyPerJob, r.CapViolations)
+}
+
+// ComparisonTable renders a head-to-head table over policies run on the
+// same trace — the schedrun CLI's output.
+func ComparisonTable(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %9s %5s %4s %10s %12s %12s %7s %8s %9s %6s %7s\n",
+		"policy", "makespan", "done", "rej", "thru/s", "energy", "energy/job", "meanEE", "wait", "peakW", "viol", "retunes")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-12s %9v %5d %4d %10.3f %12v %12v %7.4f %8v %9.1f %6d %7d\n",
+			r.Policy, r.Makespan, r.Completed, r.Rejected, r.Throughput,
+			r.TotalEnergy, r.EnergyPerJob, r.MeanEE, r.MeanWait,
+			float64(r.PeakPower), r.CapViolations, r.FreqChanges)
+	}
+	return b.String()
+}
+
+// JobTable renders the per-job records of one result.
+func (r Result) JobTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %-4s %-8s %4s %8s %9s %9s %9s %11s %7s %7s\n",
+		"job", "app", "state", "p", "f[GHz]", "arrive", "start", "end", "energy", "EE", "retunes")
+	for _, j := range r.Jobs {
+		f := float64(j.StartFreq) / 1e9
+		fmt.Fprintf(&b, "%4d %-4s %-8s %4d %8.1f %9v %9v %9v %11v %7.4f %7d\n",
+			j.ID, j.Vector.Name, j.State, j.P, f, j.Arrival, j.Start, j.End, j.Energy, j.ModelEE, j.FreqChanges)
+	}
+	return b.String()
+}

@@ -1,0 +1,273 @@
+package sched
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+func testSpec() machine.Spec { return machine.SystemG() }
+
+func epJob(id int, width int) Job {
+	return Job{ID: id, Vector: app.EP(), N: 1e7, MaxWidth: width}
+}
+
+// Satellite edge case: a cap below even one parked node's idle power
+// must be rejected at construction — no spinning, no partial schedule.
+func TestCapBelowSingleNodeIdleRejected(t *testing.T) {
+	_, err := New(Config{Spec: testSpec(), Ranks: 1, Cap: 10})
+	if err == nil {
+		t.Fatal("cap below a single node's idle power must be rejected")
+	}
+	if !strings.Contains(err.Error(), "idle floor") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// A cap above the idle floor but below any job's cheapest operating
+// point rejects the jobs (terminally) instead of looping.
+func TestInfeasibleJobsRejectedNotLooped(t *testing.T) {
+	spec := testSpec()
+	mpMin, err := spec.AtFrequency(spec.MinFrequency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := units.Watts(2 * float64(mpMin.PsysIdle))
+	s, err := New(Config{Spec: spec, Ranks: 2, Cap: floor + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run([]Job{epJob(0, 2), epJob(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 2 || res.Completed != 0 {
+		t.Fatalf("want both jobs rejected, got %d rejected %d completed", res.Rejected, res.Completed)
+	}
+	for _, j := range res.Jobs {
+		if j.State != Rejected || j.Reason == "" {
+			t.Fatalf("job %d: state %v reason %q", j.ID, j.State, j.Reason)
+		}
+	}
+}
+
+// A cap with room for exactly one job at a time serialises the queue:
+// both jobs complete, never overlapping.
+func TestCapAdmitsExactlyOneJob(t *testing.T) {
+	spec := testSpec()
+	mpMin, err := spec.AtFrequency(spec.MinFrequency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := units.Watts(2 * float64(mpMin.PsysIdle))
+	s, err := New(Config{Spec: spec, Ranks: 2, Cap: floor + 12, Policy: EEMax()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run([]Job{epJob(0, 1), epJob(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("want 2 completed, got %+v", res)
+	}
+	a, b := res.Jobs[0], res.Jobs[1]
+	if a.Start > b.Start {
+		a, b = b, a
+	}
+	if b.Start < a.End {
+		t.Fatalf("jobs overlap under a one-job cap: [%v,%v] vs [%v,%v]", a.Start, a.End, b.Start, b.End)
+	}
+	if res.CapViolations != 0 {
+		t.Fatalf("cap violated %d times", res.CapViolations)
+	}
+}
+
+// An empty queue completes trivially.
+func TestEmptyQueue(t *testing.T) {
+	s, err := New(Config{Spec: testSpec(), Ranks: 4, Cap: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 0 || res.Completed != 0 || res.CapViolations != 0 {
+		t.Fatalf("empty run not clean: %+v", res)
+	}
+}
+
+// A job demanding more ranks than the cluster has is rejected, while
+// moldable jobs (MinWidth within the cluster) shrink to fit.
+func TestJobWiderThanCluster(t *testing.T) {
+	s, err := New(Config{Spec: testSpec(), Ranks: 4, Cap: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rigid := Job{ID: 0, Vector: app.EP(), N: 1e7, MinWidth: 8, MaxWidth: 8}
+	moldable := Job{ID: 1, Vector: app.EP(), N: 1e7, MaxWidth: 16}
+	res, err := s.Run([]Job{rigid, moldable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].State != Rejected {
+		t.Fatalf("rigid 8-wide job on a 4-rank cluster: %v", res.Jobs[0].State)
+	}
+	if res.Jobs[1].State != Done || res.Jobs[1].P > 4 {
+		t.Fatalf("moldable job should shrink to fit: %+v", res.Jobs[1])
+	}
+}
+
+// Satellite edge case: two runs with the same seed produce the same
+// schedule, bit for bit.
+func TestScheduleDeterministic(t *testing.T) {
+	run := func() Result {
+		s, err := New(Config{Spec: testSpec(), Ranks: 16, Cap: 900, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(SyntheticTrace(TraceConfig{Jobs: 24, Seed: 11, MaxWidth: 8}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	// Jobs carry function-valued vectors; compare the scalar fields.
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		ja.Job, jb.Job = Job{}, Job{}
+		if !reflect.DeepEqual(ja, jb) {
+			t.Fatalf("job %d differs between identical runs:\n%+v\n%+v", i, ja, jb)
+		}
+	}
+	a.Jobs, b.Jobs = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fleet results differ between identical runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// Every policy honours the cap on a contended trace, and the energy
+// books balance: job energy + parked energy equals the profiler's
+// integrated trace (small slack for windows spanning mid-window
+// retunes, which the profiler prices at window-end parameters).
+func TestPoliciesRespectCapAndEnergyBooks(t *testing.T) {
+	trace := SyntheticTrace(TraceConfig{Jobs: 24, Seed: 3, MaxWidth: 8})
+	for name, pol := range Policies() {
+		s, err := New(Config{Spec: testSpec(), Ranks: 16, Cap: 900, Policy: pol, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(trace)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.CapViolations != 0 {
+			t.Errorf("%s: %d cap violations in %d samples (peak %v, cap %v)",
+				name, res.CapViolations, res.Samples, res.PeakPower, res.Cap)
+		}
+		if float64(res.PeakPower) > float64(res.Cap)*(1+1e-9) {
+			t.Errorf("%s: peak %v exceeds cap %v", name, res.PeakPower, res.Cap)
+		}
+		if res.Completed+res.Rejected != len(trace) {
+			t.Errorf("%s: %d jobs unaccounted", name, len(trace)-res.Completed-res.Rejected)
+		}
+		var jobsE units.Joules
+		for _, j := range res.Jobs {
+			jobsE += j.Energy
+		}
+		if got, want := float64(jobsE+res.ParkedEnergy), float64(res.TotalEnergy); math.Abs(got-want) > 1e-6*want {
+			t.Errorf("%s: ledger mismatch: jobs+parked %g vs total %g", name, got, want)
+		}
+		traceE := float64(s.prof.Profile().Energy())
+		if diff := math.Abs(traceE - float64(res.TotalEnergy)); diff > 0.02*traceE {
+			t.Errorf("%s: attributed energy %v vs profiled %g J differs by %.2f%%",
+				name, res.TotalEnergy, traceE, diff/traceE*100)
+		}
+	}
+}
+
+// White-box: the governor's throttle loop steps running jobs down the
+// ladder until the predicted draw fits the cap, and stops at the floor.
+func TestGovernorThrottle(t *testing.T) {
+	spec := testSpec()
+	s, err := New(Config{Spec: spec, Ranks: 4, Cap: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := epJob(0, 2)
+	e := &entry{job: j, res: JobResult{Job: j, State: Running}}
+	prof, ok := s.profileLadder(j, 2)
+	if !ok {
+		t.Fatal("profileLadder failed")
+	}
+	top := len(s.ladder) - 1
+	rj := &runningJob{e: e, ranks: []int{0, 1}, fIdx: top, admIdx: top, prof: prof}
+	s.freeRanks = []int{2, 3}
+	s.running = []*runningJob{rj}
+	for _, r := range rj.ranks {
+		if err := s.cl.SetRankFrequency(r, s.ladder[top]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lower the cap below the current predicted draw: the governor must
+	// shed power by stepping the job down, never below the floor.
+	s.cfg.Cap = s.predictedTotal() - 1
+	g := &governor{s: s}
+	g.throttle()
+	if rj.fIdx >= top {
+		t.Fatalf("throttle did not step down: fIdx=%d", rj.fIdx)
+	}
+	if s.predictedTotal() > s.cfg.Cap && rj.fIdx != 0 {
+		t.Fatalf("throttle stopped early: predicted %v > cap %v at fIdx=%d",
+			s.predictedTotal(), s.cfg.Cap, rj.fIdx)
+	}
+	if e.res.FreqChanges == 0 {
+		t.Fatal("retunes not recorded")
+	}
+	// An impossible cap drains to the ladder floor and stops (no loop).
+	s.cfg.Cap = 1
+	g.throttle()
+	if rj.fIdx != 0 {
+		t.Fatalf("throttle should bottom out at the ladder floor, got fIdx=%d", rj.fIdx)
+	}
+}
+
+// The synthetic trace generator is deterministic and well-formed.
+func TestSyntheticTrace(t *testing.T) {
+	a := SyntheticTrace(TraceConfig{Jobs: 32, Seed: 9})
+	b := SyntheticTrace(TraceConfig{Jobs: 32, Seed: 9})
+	if len(a) != 32 {
+		t.Fatalf("want 32 jobs, got %d", len(a))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].N != b[i].N || a[i].Arrival != b[i].Arrival ||
+			a[i].MaxWidth != b[i].MaxWidth || a[i].Priority != b[i].Priority ||
+			a[i].Vector.Name != b[i].Vector.Name {
+			t.Fatalf("trace not deterministic at job %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if err := a[i].validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A scheduler is single-use.
+func TestSchedulerSingleUse(t *testing.T) {
+	s, err := New(Config{Spec: testSpec(), Ranks: 2, Cap: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(nil); err == nil {
+		t.Fatal("second Run must fail")
+	}
+}

@@ -1,0 +1,439 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Config describes one scheduling run.
+type Config struct {
+	// Spec is the homogeneous node type; the DVFS ladder it declares is
+	// the governor's actuation range.
+	Spec machine.Spec
+	// Ranks is the cluster size to provision (≤ Spec.Nodes, one rank
+	// per node as in the paper's per-processor energy model).
+	Ranks int
+	// Cap is the whole-cluster power budget the schedule must respect.
+	Cap units.Watts
+	// Policy picks operating points at admission (default EEMax).
+	Policy Policy
+	// Interval is the governor/profiler sampling period; zero means
+	// 25 ms of virtual time.
+	Interval units.Seconds
+	// Noise perturbs execution like real hardware; the zero value keeps
+	// runs exactly reproducible (and the zero-violation guarantee
+	// exact).
+	Noise cluster.NoiseConfig
+	// NoisyMeter perturbs the profiler's readings like a physical power
+	// meter. Off by default so the audit trail is exact.
+	NoisyMeter bool
+	// PerfSlack bounds how much service quality an EE-optimising
+	// admission may trade away: a width is only eligible if its best
+	// runtime over the DVFS ladder stays within PerfSlack × the job's
+	// unconstrained fastest runtime (admission.go). Zero means 1.3.
+	PerfSlack float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Scheduler executes job traces on a simulated power-capped cluster.
+// Create one per Run.
+type Scheduler struct {
+	cfg  Config
+	cl   *cluster.Cluster
+	prof *power.Profiler
+	gov  *governor
+
+	ladder   []units.Hertz
+	paramsAt map[units.Hertz]machine.Params
+	idleMin  units.Watts // parked (ladder-minimum) idle power per rank
+
+	freeRanks []int // sorted ascending; lowest ranks assigned first
+	owner     []*runningJob
+	meters    []rankMeter
+
+	entries    map[int]*entry
+	refFastest map[int]map[int]units.Seconds // job ID → width → fastest Tp
+	queue      []*entry                      // arrived, waiting, arrival order
+	running    []*runningJob
+	remaining  int // jobs not yet Done/Rejected
+
+	// blocked records that the latest admission pass left jobs queued:
+	// until the next arrival or completion no admission can succeed, so
+	// spare watts are loanable to running jobs (governor boost).
+	blocked bool
+
+	parkedEnergy units.Joules
+	ran          bool
+}
+
+type entry struct {
+	job Job
+	res JobResult
+}
+
+// runningJob is the execution state of one dispatched job.
+type runningJob struct {
+	e      *entry
+	ranks  []int
+	fIdx   int // current ladder index
+	admIdx int // ladder index admitted at
+	eeIdx  int // ladder index maximising model EE at this width
+	prof   ladderProfile
+
+	alpha     float64
+	sliceOn   float64
+	sliceOff  float64
+	sliceComm units.Seconds // per-rank per-slice network time, unscaled
+	slices    int
+	left      int // rank procs still executing
+	energy    units.Joules
+}
+
+func (rj *runningJob) width() int { return len(rj.ranks) }
+
+// rankMeter is the per-rank piecewise energy integrator that attributes
+// measured energy to jobs (and to the parked pool) across frequency
+// changes and ownership changes.
+type rankMeter struct {
+	t    units.Seconds
+	busy cluster.ComponentBusy
+}
+
+// New validates the configuration and provisions the cluster with every
+// rank parked at the ladder minimum. A cap below the cluster's parked
+// idle floor is rejected outright: no schedule could avoid violating it.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Policy == nil {
+		cfg.Policy = EEMax()
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 25 * units.Millisecond
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("sched: cluster size %d must be positive", cfg.Ranks)
+	}
+	if cfg.Cap <= 0 {
+		return nil, fmt.Errorf("sched: power cap %v must be positive", cfg.Cap)
+	}
+
+	cl, err := cluster.New(cluster.Config{
+		Spec:  cfg.Spec,
+		Freq:  cfg.Spec.MinFrequency(),
+		Ranks: cfg.Ranks,
+		Noise: cfg.Noise,
+		Seed:  cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Scheduler{
+		cfg:        cfg,
+		cl:         cl,
+		ladder:     append([]units.Hertz(nil), cfg.Spec.Frequencies...),
+		paramsAt:   make(map[units.Hertz]machine.Params, len(cfg.Spec.Frequencies)),
+		owner:      make([]*runningJob, cfg.Ranks),
+		meters:     make([]rankMeter, cfg.Ranks),
+		entries:    make(map[int]*entry),
+		refFastest: make(map[int]map[int]units.Seconds),
+	}
+	for _, f := range s.ladder {
+		mp, err := cfg.Spec.AtFrequency(f)
+		if err != nil {
+			return nil, err
+		}
+		s.paramsAt[f] = mp
+	}
+	s.idleMin = s.paramsAt[s.ladder[0]].PsysIdle
+
+	floor := units.Watts(float64(cfg.Ranks) * float64(s.idleMin))
+	if cfg.Cap < floor {
+		return nil, fmt.Errorf("sched: cap %v is below the cluster idle floor %v (%d ranks × %v parked idle) — no schedule can satisfy it",
+			cfg.Cap, floor, cfg.Ranks, s.idleMin)
+	}
+
+	s.freeRanks = make([]int, cfg.Ranks)
+	for i := range s.freeRanks {
+		s.freeRanks[i] = i
+	}
+	return s, nil
+}
+
+// predictedTotal is the model-side sustained cluster draw: parked idle
+// plus every running job's conservative draw at its current frequency.
+// The admission and governor invariants keep it ≤ Cap at all times,
+// which is what makes the measured trace respect the cap too.
+func (s *Scheduler) predictedTotal() units.Watts {
+	total := units.Watts(float64(len(s.freeRanks)) * float64(s.idleMin))
+	for _, rj := range s.running {
+		total += rj.prof.draw[rj.fIdx]
+	}
+	return total
+}
+
+// headroom is the power left under the cap.
+func (s *Scheduler) headroom() units.Watts { return s.cfg.Cap - s.predictedTotal() }
+
+// bankMeter integrates rank r's energy since its last banking point at
+// its current machine vector and returns it. Callers must bank before
+// any SetRankFrequency so elapsed time is priced at the outgoing vector.
+func (s *Scheduler) bankMeter(r int) units.Joules {
+	m := &s.meters[r]
+	e, cur := s.cl.EnergySince(r, m.t, m.busy)
+	m.t, m.busy = s.cl.Kernel().Now(), cur
+	return e
+}
+
+// Run executes the trace to completion and returns the fleet accounting.
+// A Scheduler is single-use.
+func (s *Scheduler) Run(jobs []Job) (Result, error) {
+	if s.ran {
+		return Result{}, fmt.Errorf("sched: scheduler already ran; create a new one per trace")
+	}
+	s.ran = true
+
+	ordered := make([]*entry, 0, len(jobs))
+	for _, j := range jobs {
+		if err := j.validate(); err != nil {
+			return Result{}, err
+		}
+		if _, dup := s.entries[j.ID]; dup {
+			return Result{}, fmt.Errorf("sched: duplicate job ID %d", j.ID)
+		}
+		e := &entry{job: j, res: JobResult{Job: j, State: Queued}}
+		s.entries[j.ID] = e
+		ordered = append(ordered, e)
+	}
+	s.remaining = len(jobs)
+
+	prof, err := power.Attach(s.cl, s.cfg.Interval, s.cfg.NoisyMeter)
+	if err != nil {
+		return Result{}, err
+	}
+	s.prof = prof
+	s.gov = &governor{s: s}
+	prof.OnSample(s.gov.onSample)
+	prof.KeepSampling(func() bool { return s.remaining > 0 })
+
+	// Arrival events are scheduled in submission order so that same-time
+	// arrivals enqueue deterministically (the kernel fires equal-time
+	// events FIFO).
+	k := s.cl.Kernel()
+	for _, e := range ordered {
+		e := e
+		k.Schedule(e.job.Arrival, func() { s.arrive(e) })
+	}
+	if err := k.Run(); err != nil {
+		return Result{}, fmt.Errorf("sched: simulation failed: %w", err)
+	}
+
+	// Close the books: whatever every rank dissipated after its last
+	// banking point belongs to the parked pool (no job is running).
+	for r := 0; r < s.cl.Ranks(); r++ {
+		s.parkedEnergy += s.bankMeter(r)
+	}
+	return s.collect(), nil
+}
+
+// arrive runs in kernel context at a job's arrival time.
+func (s *Scheduler) arrive(e *entry) {
+	if e.job.minWidth() > s.cl.Ranks() {
+		s.reject(e, fmt.Sprintf("needs %d ranks, cluster has %d", e.job.minWidth(), s.cl.Ranks()))
+		return
+	}
+	s.queue = append(s.queue, e)
+	s.tryAdmit()
+}
+
+// reject finalises a job that can never run.
+func (s *Scheduler) reject(e *entry, reason string) {
+	e.res.State = Rejected
+	e.res.Reason = reason
+	s.remaining--
+}
+
+// tryAdmit asks the policy for admissions against the current cluster
+// state and starts them. When the cluster is completely idle and the
+// normal pass starts nothing, a relaxed pass drops the performance-slack
+// rule — waiting cannot improve an idle cluster's headroom, so a slow
+// point now beats queueing forever. Jobs the relaxed pass still cannot
+// place are infeasible under this cap and are rejected — never spun on.
+func (s *Scheduler) tryAdmit() {
+	defer func() { s.blocked = len(s.queue) > 0 }()
+	if len(s.queue) == 0 {
+		return
+	}
+	if s.gov != nil {
+		s.gov.relinquish()
+	}
+	admitted := s.admitPass(false)
+	if admitted == 0 && len(s.running) == 0 {
+		admitted = s.admitPass(true)
+		if admitted == 0 {
+			for _, e := range s.queue {
+				s.reject(e, fmt.Sprintf("no operating point fits cap %v even on an idle cluster", s.cfg.Cap))
+			}
+			s.queue = nil
+		}
+	}
+}
+
+// admitPass runs one policy admission round; it returns how many jobs
+// were started.
+func (s *Scheduler) admitPass(relaxed bool) int {
+	ctx := &AdmitContext{
+		s:        s,
+		now:      s.cl.Kernel().Now(),
+		free:     len(s.freeRanks),
+		headroom: s.headroom(),
+		taken:    make(map[int]bool),
+		relaxed:  relaxed,
+	}
+	for _, e := range s.queue {
+		ctx.queue = append(ctx.queue, e.job)
+	}
+	s.cfg.Policy.Admit(ctx)
+
+	for _, adm := range ctx.admitted {
+		s.start(s.entries[adm.jobID], adm.cand)
+	}
+	if len(ctx.admitted) > 0 {
+		kept := s.queue[:0]
+		for _, e := range s.queue {
+			if !ctx.taken[e.job.ID] {
+				kept = append(kept, e)
+			}
+		}
+		s.queue = kept
+	}
+	return len(ctx.admitted)
+}
+
+// start dispatches a job onto the lowest free ranks at the candidate
+// operating point and spawns its rank processes.
+func (s *Scheduler) start(e *entry, cand Candidate) {
+	now := s.cl.Kernel().Now()
+	j := e.job
+	prof, ok := s.profileLadder(j, cand.P)
+	if !ok {
+		s.reject(e, "model evaluation failed at admission")
+		return
+	}
+	ranks := append([]int(nil), s.freeRanks[:cand.P]...)
+	s.freeRanks = s.freeRanks[cand.P:]
+
+	w := j.Vector.At(j.N, cand.P)
+	perOn := (w.WOn + w.DWOn) / float64(cand.P)
+	perOff := (w.WOff + w.DWOff) / float64(cand.P)
+	perComm := units.Seconds((w.M*float64(s.paramsAt[cand.Freq].Ts) + w.B*float64(s.paramsAt[cand.Freq].Tb)) / float64(cand.P))
+
+	slices := int(float64(cand.Tp)/float64(s.cfg.Interval) + 0.5)
+	if slices < 4 {
+		slices = 4
+	}
+	if slices > 512 {
+		slices = 512
+	}
+
+	eeIdx := 0
+	for i := range prof.ee {
+		if prof.ee[i] > prof.ee[eeIdx] {
+			eeIdx = i
+		}
+	}
+	rj := &runningJob{
+		e:         e,
+		ranks:     ranks,
+		fIdx:      s.ladderIndex(cand.Freq),
+		admIdx:    s.ladderIndex(cand.Freq),
+		eeIdx:     eeIdx,
+		prof:      prof,
+		alpha:     w.Alpha,
+		sliceOn:   perOn / float64(slices),
+		sliceOff:  perOff / float64(slices),
+		sliceComm: perComm / units.Seconds(float64(slices)),
+		slices:    slices,
+		left:      cand.P,
+	}
+	for _, r := range ranks {
+		s.parkedEnergy += s.bankMeter(r)
+		if err := s.cl.SetRankFrequency(r, cand.Freq); err != nil {
+			panic(fmt.Sprintf("sched: retune rank %d: %v", r, err))
+		}
+		s.owner[r] = rj
+	}
+	s.running = append(s.running, rj)
+
+	e.res.State = Running
+	e.res.P = cand.P
+	e.res.StartFreq = cand.Freq
+	e.res.Start = now
+	e.res.Wait = now - j.Arrival
+	e.res.ModelEE = cand.EE
+
+	for _, r := range ranks {
+		r := r
+		s.cl.Kernel().Spawn(fmt.Sprintf("job%d.r%d", j.ID, r), func(p *sim.Proc) {
+			s.runRank(rj, r, p)
+		})
+	}
+}
+
+// runRank executes one rank's share of a job, slice by slice. Each slice
+// reads the rank's current machine vector, so a governor retune between
+// slices re-prices the remaining work automatically.
+func (s *Scheduler) runRank(rj *runningJob, rank int, p *sim.Proc) {
+	for i := 0; i < rj.slices; i++ {
+		s.cl.ComputeAlpha(p, rank, rj.sliceOn, rj.sliceOff, rj.alpha)
+		if rj.sliceComm > 0 {
+			s.cl.RecordNetworkBusy(rank, rj.sliceComm)
+			p.Sleep(units.Seconds(rj.alpha * float64(rj.sliceComm)))
+		}
+	}
+	s.cl.NoteWall(p.Now())
+	rj.left--
+	if rj.left == 0 {
+		s.finish(rj)
+	}
+}
+
+// finish runs in the last rank process of a completed job: bank its
+// energy, park its ranks, and give the policy the freed capacity.
+func (s *Scheduler) finish(rj *runningJob) {
+	now := s.cl.Kernel().Now()
+	for _, r := range rj.ranks {
+		rj.energy += s.bankMeter(r)
+		if err := s.cl.SetRankFrequency(r, s.ladder[0]); err != nil {
+			panic(fmt.Sprintf("sched: park rank %d: %v", r, err))
+		}
+		s.owner[r] = nil
+	}
+	s.freeRanks = append(s.freeRanks, rj.ranks...)
+	sort.Ints(s.freeRanks)
+
+	for i, other := range s.running {
+		if other == rj {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			break
+		}
+	}
+
+	res := &rj.e.res
+	res.State = Done
+	res.End = now
+	res.Energy = rj.energy
+	res.DeadlineMet = rj.e.job.Deadline <= 0 || now <= rj.e.job.Arrival+rj.e.job.Deadline
+	s.remaining--
+
+	s.tryAdmit()
+}
