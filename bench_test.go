@@ -353,7 +353,8 @@ func BenchmarkAblationAlltoallAlgorithm(b *testing.B) {
 // SystemG ranks) under three cap levels so future PRs can track
 // scheduler throughput and the energy/makespan frontier. The reported
 // metrics are virtual: makespan seconds, completed jobs per virtual
-// second, and mean energy per completed job.
+// second, and mean energy per completed job. The backfill variant adds
+// the tail-wait metric EASY reservations exist to bound.
 func BenchmarkSchedule(b *testing.B) {
 	trace := sched.SyntheticTrace(sched.TraceConfig{Jobs: 64, Seed: 1})
 	for _, cap := range []units.Watts{2000, 2500, 3000} {
@@ -363,6 +364,7 @@ func BenchmarkSchedule(b *testing.B) {
 		}{
 			{"fifo", sched.FIFO},
 			{"ee-max", sched.EEMax},
+			{"bf-ee-max", func() sched.Policy { return sched.Backfill(sched.EEMax()) }},
 		} {
 			b.Run(fmt.Sprintf("cap%dW/%s", int(cap), mk.name), func(b *testing.B) {
 				var res sched.Result
@@ -388,6 +390,7 @@ func BenchmarkSchedule(b *testing.B) {
 				b.ReportMetric(float64(res.Makespan), "vmakespan-s")
 				b.ReportMetric(res.Throughput, "jobs/vs")
 				b.ReportMetric(float64(res.EnergyPerJob), "J/job")
+				b.ReportMetric(float64(res.MaxWait), "maxwait-vs")
 				// Rejections matter at tight caps: FIFO's rigid full-width
 				// points can be unrunnable where moldable policies fit.
 				b.ReportMetric(float64(res.Completed), "done")

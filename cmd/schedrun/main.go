@@ -6,9 +6,16 @@
 // least as fast as the FIFO baseline while spending less energy per job
 // and never exceeding the cap.
 //
+// With -backfill every policy is wrapped in EASY-style reservations
+// (sched.Backfill): a blocked queue head is promised ranks and watts at
+// a model-predicted future start, and later jobs only jump it when they
+// cannot delay that start — bounding the worst-case wait of wide jobs.
+// A specific wrapped policy can also be named directly, e.g.
+// -policy backfill+ee-max.
+//
 // Usage:
 //
-//	schedrun -jobs 64 -cap 2500 [-ranks 64] [-policy all] [-detail]
+//	schedrun -jobs 64 -cap 2500 [-ranks 64] [-policy all] [-backfill] [-detail]
 package main
 
 import (
@@ -28,7 +35,8 @@ func main() {
 	cap := flag.Float64("cap", 2500, "cluster power cap in watts")
 	ranks := flag.Int("ranks", 64, "cluster size in ranks")
 	clusterName := flag.String("cluster", "systemg", "cluster preset: systemg, dori")
-	policy := flag.String("policy", "all", "policy to run: fifo, ee-max, fair-share, or all")
+	policy := flag.String("policy", "all", "policy to run: fifo, ee-max, fair-share, backfill+<name>, or all")
+	backfill := flag.Bool("backfill", false, "wrap every selected policy in EASY backfill reservations")
 	seed := flag.Int64("seed", 1, "trace and simulation seed")
 	interval := flag.Float64("interval", 0, "governor sampling interval in seconds (0 = 25ms)")
 	detail := flag.Bool("detail", false, "print per-job tables")
@@ -54,12 +62,22 @@ func main() {
 			policies = append(policies, all[name])
 		}
 	} else {
-		p, ok := sched.Policies()[strings.ToLower(*policy)]
+		name := strings.ToLower(*policy)
+		wrap := strings.HasPrefix(name, "backfill+")
+		p, ok := sched.Policies()[strings.TrimPrefix(name, "backfill+")]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown policy %q (have fifo, ee-max, fair-share, all)\n", *policy)
+			fmt.Fprintf(os.Stderr, "unknown policy %q (have fifo, ee-max, fair-share, backfill+<name>, all)\n", *policy)
 			os.Exit(2)
 		}
+		if wrap {
+			p = sched.Backfill(p)
+		}
 		policies = []sched.Policy{p}
+	}
+	if *backfill {
+		for i, p := range policies {
+			policies[i] = sched.Backfill(p)
+		}
 	}
 
 	trace := sched.SyntheticTrace(sched.TraceConfig{Jobs: *jobs, Seed: *seed})

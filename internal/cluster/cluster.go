@@ -91,10 +91,12 @@ func DefaultNoise() NoiseConfig {
 
 // Config describes a simulated cluster run.
 type Config struct {
-	// Spec is the homogeneous node specification (ignored if PerRank is
+	// Spec is the homogeneous node specification (unused if PerRank is
 	// set).
 	Spec machine.Spec
 	// Freq is the DVFS operating frequency; zero means Spec.BaseFreq.
+	// Combining a non-zero Freq with PerRank is a configuration error:
+	// heterogeneous ranks carry their frequency inside each Params.
 	Freq units.Hertz
 	// Ranks is the number of MPI ranks to provision.
 	Ranks int
@@ -158,8 +160,8 @@ type energyBank struct {
 // sampling can attribute its busy time pro rata over [start, end] instead
 // of as an instantaneous spike.
 type inflightOp struct {
-	start, end  units.Seconds
-	dc, dm, dio units.Seconds // total component attributions of the op
+	start, end        units.Seconds
+	dc, dm, dio, dnet units.Seconds // total component attributions of the op
 }
 
 // New validates the configuration and provisions the cluster.
@@ -176,6 +178,9 @@ func New(cfg Config) (*Cluster, error) {
 
 	var params []machine.Params
 	if cfg.PerRank != nil {
+		if cfg.Freq != 0 {
+			return nil, fmt.Errorf("cluster: Config.Freq %v conflicts with PerRank vectors — heterogeneous ranks set their frequency inside each machine.Params", cfg.Freq)
+		}
 		if len(cfg.PerRank) != cfg.Ranks {
 			return nil, fmt.Errorf("cluster: PerRank has %d entries for %d ranks", len(cfg.PerRank), cfg.Ranks)
 		}
@@ -453,10 +458,36 @@ func (c *Cluster) RecordSend(now units.Seconds, src, dst int, bytes units.Bytes)
 	c.tracer.Send(now, src, dst, bytes)
 }
 
-// RecordNetworkBusy attributes network occupancy time to a rank.
+// RecordNetworkBusy attributes network occupancy time to a rank as an
+// instantaneous counter update. Callers that sleep through the transfer
+// on the same rank should prefer CommAlpha, which attributes the busy
+// time pro rata over the transfer interval so power sampling sees
+// sustained occupancy instead of a spike at the operation boundary.
 func (c *Cluster) RecordNetworkBusy(rank int, d units.Seconds) {
 	c.counters.Rank(c.checkRank(rank)).NetworkTime += d
 	c.noteEnd(c.kernel.Now())
+}
+
+// CommAlpha occupies a rank's network interface for busy time d while the
+// calling process sleeps the α-overlapped wall time α·d, mirroring
+// ComputeAlpha: the busy time is registered as an in-flight operation so
+// BusySnapshot attributes it pro rata over the transfer instead of as a
+// spike at the boundary. alpha must lie in (0,1].
+func (c *Cluster) CommAlpha(p *sim.Proc, rank int, d units.Seconds, alpha float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("cluster: negative network time %v", d))
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("cluster: overlap factor α=%g outside (0,1]", alpha))
+	}
+	r := c.checkRank(rank)
+	wall := units.Seconds(alpha * float64(d))
+	now := c.kernel.Now()
+	c.inflight[r] = inflightOp{start: now, end: now + wall, dnet: d}
+	p.Sleep(wall)
+	c.inflight[r] = inflightOp{}
+	c.counters.Rank(r).NetworkTime += d
+	c.noteEnd(p.Now())
 }
 
 // NoteWall extends the measured makespan to t if t is later than every

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/machine"
@@ -69,6 +70,64 @@ func TestConfigValidation(t *testing.T) {
 	// PerRank length mismatch.
 	if _, err := New(Config{Ranks: 2, PerRank: []machine.Params{testSpec().MustBase()}}); err == nil {
 		t.Error("PerRank length mismatch must fail")
+	}
+}
+
+// Satellite regression: a uniform Config.Freq used to be silently
+// dropped when PerRank vectors were given; the conflict is now an
+// explicit configuration error.
+func TestFreqConflictsWithPerRank(t *testing.T) {
+	base := testSpec().MustBase()
+	_, err := New(Config{Ranks: 1, Freq: 1 * units.GHz, PerRank: []machine.Params{base}})
+	if err == nil {
+		t.Fatal("Config.Freq alongside PerRank must be rejected, not ignored")
+	}
+	if !strings.Contains(err.Error(), "conflicts") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// PerRank alone stays valid.
+	if _, err := New(Config{Ranks: 1, PerRank: []machine.Params{base}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Satellite regression: network occupancy attributed through CommAlpha
+// accrues pro rata over the transfer interval — a mid-transfer snapshot
+// sees sustained draw, not a spike at the operation boundary.
+func TestCommAlphaProRata(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	c.Kernel().Spawn("comm", func(p *sim.Proc) {
+		c.CommAlpha(p, 0, 2, 1) // 2 s of network occupancy, α=1
+	})
+	var mid units.Seconds
+	c.Kernel().After(1, func() { mid = c.BusySnapshot(0).Network })
+	if err := c.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(mid-1)) > 1e-12 {
+		t.Fatalf("mid-transfer network busy = %v, want 1s (pro rata)", mid)
+	}
+	if got := c.BusySnapshot(0).Network; math.Abs(float64(got-2)) > 1e-12 {
+		t.Fatalf("final network busy = %v, want 2s", got)
+	}
+
+	// With overlap α=0.5 the wall interval halves but the attributed
+	// busy time does not: halfway through the 1 s transfer window the
+	// snapshot carries half of the 2 s occupancy.
+	o := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	o.Kernel().Spawn("comm", func(p *sim.Proc) {
+		o.CommAlpha(p, 0, 2, 0.5)
+	})
+	var half units.Seconds
+	o.Kernel().After(0.5, func() { half = o.BusySnapshot(0).Network })
+	if err := o.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(half-1)) > 1e-12 {
+		t.Fatalf("α-overlapped mid-transfer network busy = %v, want 1s", half)
+	}
+	if math.Abs(float64(o.Wall()-1)) > 1e-12 {
+		t.Fatalf("wall = %v, want 1s (α-scaled)", o.Wall())
 	}
 }
 

@@ -163,6 +163,7 @@ func (c *Cluster) BusySnapshot(ranks ...int) ComponentBusy {
 			b.Compute += units.Seconds(frac * float64(fl.dc))
 			b.Memory += units.Seconds(frac * float64(fl.dm))
 			b.IO += units.Seconds(frac * float64(fl.dio))
+			b.Network += units.Seconds(frac * float64(fl.dnet))
 		}
 	}
 	return b

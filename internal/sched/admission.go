@@ -125,7 +125,12 @@ func (s *Scheduler) candidateAt(j Job, p int, f units.Hertz) (Candidate, bool) {
 //     idle and waiting could never help — see Scheduler.tryAdmit.
 //   - Deadlines. Among eligible points, ones that meet the job's
 //     deadline (when it has one) win over ones that do not.
-func (s *Scheduler) bestCandidate(j Job, freeRanks int, budget units.Watts, obj analysis.Objective, now units.Seconds, relaxed bool) (Candidate, bool) {
+//
+// While a backfill reservation is active (rsv non-nil), a fourth rule
+// applies: a candidate whose predicted completion outlives the reserved
+// start must fit inside the reservation's spare ranks and watts, so
+// backfilled work can never delay the blocked queue head (backfill.go).
+func (s *Scheduler) bestCandidate(j Job, freeRanks int, budget units.Watts, obj analysis.Objective, now units.Seconds, relaxed bool, rsv *reservation) (Candidate, bool) {
 	ws := j.widths(freeRanks)
 	if len(ws) == 0 || budget <= 0 {
 		return Candidate{}, false
@@ -155,6 +160,9 @@ func (s *Scheduler) bestCandidate(j Job, freeRanks int, budget units.Watts, obj 
 	found, foundDL := false, false
 	for _, c := range cands {
 		if !relaxed && fastestByP[c.P] > maxTp {
+			continue
+		}
+		if !rsv.permits(j.ID, now, c) {
 			continue
 		}
 		if !found || obj.Better(c.Point, best.Point) {

@@ -1,0 +1,198 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/units"
+)
+
+// This file implements EASY-style backfill with two-dimensional
+// reservations (ranks AND watts) on top of any admission policy.
+//
+// The greedy policies admit whatever fits, so under a continuous stream
+// of narrow arrivals a wide job's admission can be deferred forever: a
+// liveness bug, not a throughput trade-off. The classic fix is EASY
+// backfill (Lifka's Argonne scheduler): when the queue head cannot
+// start, reserve the earliest future point at which it can, and let
+// later jobs jump the queue only if they do not push that point back.
+//
+// Under a power cap the reservation must hold two resources. The shadow
+// walk replays the model-predicted completions of every running (and
+// just-admitted) job — each completion returns its rank set and its
+// conservative marginal draw (admission.go) to the pool — and probes
+// the wrapped policy at each step: the first shadow state in which the
+// inner policy would start the head becomes the reservation (start
+// time, width, watts). Probing the inner policy rather than a fixed
+// rule keeps composition honest: a fifo head is reserved its full width
+// at nominal frequency, an ee-max head its EE-best eligible point.
+//
+// Backfill then admits a later job only if its predicted completion
+// lands before the reserved start, or if it fits inside the shadow
+// state's spare capacity (extraRanks/extraWatts) so the head still
+// starts on time. The governor observes the same contract: a boost that
+// would leave a job running past the reserved start may only spend the
+// reservation's spare watts (governor.go).
+//
+// Predicted completions are the model's, re-priced at every retune via
+// the runningJob progress bookkeeping (scheduler.go), and the whole
+// reservation is recomputed from fresh state on every scheduling edge —
+// prediction error shifts a reserved start, it never strands it.
+
+// reservation promises the blocked queue head a (ranks, watts) pair at
+// a model-predicted future start time. extraRanks/extraWatts are the
+// capacity beyond the promise still spendable by work that outlives the
+// reserved start; admissions and governor boosts draw them down.
+type reservation struct {
+	jobID int
+	at    units.Seconds // reserved (shadow) start time
+	p     int           // reserved width
+	cost  units.Watts   // reserved marginal draw
+
+	extraRanks int
+	extraWatts units.Watts
+}
+
+// permits reports whether admitting jobID at candidate c now would keep
+// the reservation intact: the reserved job itself is exempt, jobs whose
+// predicted completion lands before the reserved start never touch it,
+// and anything else must fit the spare capacity. A nil reservation
+// permits everything.
+func (r *reservation) permits(jobID int, now units.Seconds, c Candidate) bool {
+	if r == nil || jobID == r.jobID {
+		return true
+	}
+	if now+c.Tp <= r.at {
+		return true
+	}
+	return c.P <= r.extraRanks && c.Cost <= r.extraWatts
+}
+
+// Backfill wraps an admission policy with EASY-style reservations: the
+// queue head is tried first with the full free capacity; if it cannot
+// start, a reservation is computed for it and the inner policy backfills
+// the remaining queue under that constraint. Wrapping an already-wrapped
+// policy returns it unchanged.
+func Backfill(inner Policy) Policy {
+	if bf, ok := inner.(backfillPolicy); ok {
+		return bf
+	}
+	return backfillPolicy{inner: inner}
+}
+
+type backfillPolicy struct{ inner Policy }
+
+func (b backfillPolicy) Name() string { return "backfill+" + b.inner.Name() }
+func (b backfillPolicy) DVFS() bool   { return b.inner.DVFS() }
+
+func (b backfillPolicy) Admit(ctx *AdmitContext) {
+	// Phase 1: start queue heads in arrival order while they fit. Each
+	// head in turn gets an exclusive pass over the whole remaining
+	// capacity — nothing bypasses it while it is startable.
+	for {
+		head, ok := ctx.head()
+		if !ok {
+			return // queue drained into admissions
+		}
+		before := len(ctx.admitted)
+		ctx.only = &head.ID
+		b.inner.Admit(ctx)
+		ctx.only = nil
+		if len(ctx.admitted) == before {
+			break // the head must wait: reserve for it
+		}
+	}
+
+	// Phase 2: reserve the earliest shadow state in which the inner
+	// policy would start the blocked head.
+	head, _ := ctx.head()
+	rsv := ctx.s.computeReservation(head, b.inner, ctx)
+	if !ctx.shadow {
+		ctx.s.rsv = rsv
+	}
+	ctx.rsv = rsv
+
+	// Phase 3: backfill the rest of the queue under the reservation.
+	b.inner.Admit(ctx)
+}
+
+// computeReservation runs the shadow walk for the blocked queue head:
+// replay the predicted completions of running and just-admitted jobs in
+// time order, crediting each job's ranks and marginal draw back to the
+// pool, and probe the inner policy at every distinct shadow time. The
+// first probe that starts the head defines the reservation. At the final
+// event the cluster is fully drained, so the probe relaxes the width-
+// slack rule exactly as tryAdmit does on an idle cluster — any job
+// feasible at all is guaranteed a reservation, which is the liveness
+// bound. Returns nil when there is nothing running to wait for or the
+// head is infeasible even on the drained cluster.
+func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext) *reservation {
+	type event struct {
+		t     units.Seconds
+		id    int
+		ranks int
+		watts units.Watts
+	}
+	evs := make([]event, 0, len(s.running)+len(ctx.admitted))
+	for _, rj := range s.running {
+		evs = append(evs, event{
+			t:     s.predictedEnd(rj),
+			id:    rj.e.job.ID,
+			ranks: rj.width(),
+			watts: rj.prof.draw[rj.fIdx] - units.Watts(float64(rj.width())*float64(s.idleMin)),
+		})
+	}
+	for _, adm := range ctx.admitted {
+		evs = append(evs, event{t: ctx.now + adm.cand.Tp, id: adm.jobID, ranks: adm.cand.P, watts: adm.cand.Cost})
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].id < evs[b].id
+	})
+	free, watts := ctx.free, ctx.headroom
+	for i, e := range evs {
+		free += e.ranks
+		watts += e.watts
+		if i+1 < len(evs) && evs[i+1].t == e.t {
+			continue // coalesce simultaneous completions
+		}
+		relaxed := ctx.relaxed || i == len(evs)-1
+		if cand, ok := s.shadowCandidate(inner, head, free, watts, e.t, relaxed); ok {
+			return &reservation{
+				jobID:      head.ID,
+				at:         e.t,
+				p:          cand.P,
+				cost:       cand.Cost,
+				extraRanks: free - cand.P,
+				extraWatts: watts - cand.Cost,
+			}
+		}
+	}
+	return nil
+}
+
+// shadowCandidate asks the inner policy whether it would start job j on
+// a hypothetical cluster with the given free ranks and power headroom at
+// virtual time at, and with which candidate. The probe context never
+// mutates scheduler state.
+func (s *Scheduler) shadowCandidate(inner Policy, j Job, free int, watts units.Watts, at units.Seconds, relaxed bool) (Candidate, bool) {
+	sctx := &AdmitContext{
+		s:        s,
+		now:      at,
+		free:     free,
+		headroom: watts,
+		queue:    []Job{j},
+		taken:    make(map[int]bool),
+		relaxed:  relaxed,
+		shadow:   true,
+	}
+	inner.Admit(sctx)
+	if len(sctx.admitted) == 0 {
+		return Candidate{}, false
+	}
+	return sctx.admitted[0].cand, true
+}

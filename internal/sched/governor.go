@@ -32,6 +32,12 @@ type governor struct {
 // cap; anything beyond one part in 10⁹ is a real violation.
 const capEpsilon = 1e-9
 
+// epEpsilon is the relative margin a ladder step's predicted energy
+// must beat the current point by before a boost counts it as a gain.
+// Treating equality as a gain made flat ladder segments retune-churn
+// forever (every sample walked the job up a step that bought nothing).
+const epEpsilon = 1e-9
+
 // onSample runs in kernel context after every recorded power sample.
 func (g *governor) onSample(sm power.Sample) {
 	g.samples++
@@ -67,7 +73,9 @@ func (g *governor) throttle() {
 			sv := rj.prof.draw[rj.fIdx] - rj.prof.draw[rj.fIdx-1]
 			if victim == nil ||
 				rj.e.job.priority() < victim.e.job.priority() ||
-				(rj.e.job.priority() == victim.e.job.priority() && sv > saving) {
+				(rj.e.job.priority() == victim.e.job.priority() &&
+					(sv > saving ||
+						(sv == saving && rj.e.job.ID > victim.e.job.ID))) {
 				victim, saving = rj, sv
 			}
 		}
@@ -111,13 +119,25 @@ func (g *governor) boost() {
 				continue
 			}
 			eeGain := rj.prof.ee[next] > rj.prof.ee[rj.fIdx]+1e-12
-			epGain := rj.prof.ep[next] <= rj.prof.ep[rj.fIdx]
+			// Strict improvement only: a flat ladder segment is not a
+			// gain, and retuning across one is pure churn.
+			epGain := float64(rj.prof.ep[next]) < float64(rj.prof.ep[rj.fIdx])*(1-epEpsilon)
 			if !drain && !eeGain && !epGain {
 				continue
 			}
 			cost := rj.prof.draw[next] - rj.prof.draw[rj.fIdx]
 			if cost > g.s.headroom() {
 				continue
+			}
+			// A backfill reservation holds watts for the blocked queue
+			// head at its reserved start: a boost that would leave this
+			// job running past that start may only spend the
+			// reservation's spare watts, never the held ones.
+			if rsv := g.s.rsv; rsv != nil && g.s.predictedEndAt(rj, next) > rsv.at {
+				if cost > rsv.extraWatts {
+					continue
+				}
+				rsv.extraWatts -= cost
 			}
 			g.retune(rj, next)
 			changed = true
@@ -152,8 +172,17 @@ func (g *governor) relinquish() {
 // retune moves a running job to ladder index idx: bank each rank's
 // energy at the outgoing vector, then switch the hardware. Work already
 // in flight keeps its issued duration; subsequent slices use the new
-// vector.
+// vector. Model progress is re-priced at the boundary so predicted
+// completions (backfill's shadow clock) stay piecewise-exact.
 func (g *governor) retune(rj *runningJob, idx int) {
+	now := g.s.cl.Kernel().Now()
+	if tp := rj.prof.tp[rj.fIdx]; tp > 0 {
+		rj.progress += float64(now-rj.pricedAt) / float64(tp)
+		if rj.progress > 1 {
+			rj.progress = 1
+		}
+	}
+	rj.pricedAt = now
 	f := g.s.ladder[idx]
 	for _, r := range rj.ranks {
 		rj.energy += g.s.bankMeter(r)

@@ -136,6 +136,9 @@ type JobResult struct {
 	P           int
 	StartFreq   units.Hertz
 	FreqChanges int
+	// Backfilled reports that the job was admitted past a blocked queue
+	// head under an active backfill reservation (backfill.go).
+	Backfilled bool
 	// Start and End bound the execution; Wait is Start − Arrival.
 	Start, End, Wait units.Seconds
 	// Energy is the measured energy attributed to the job: idle power

@@ -35,11 +35,26 @@ type AdmitContext struct {
 	admitted []admission
 	taken    map[int]bool
 	relaxed  bool
+
+	// only restricts Pending to one job ID — how the Backfill wrapper
+	// gives the queue head an exclusive, unconstrained admission shot.
+	only *int
+	// rsv constrains admissions to ones that neither delay the reserved
+	// start of the blocked queue head nor eat its reserved watts.
+	rsv *reservation
+	// shadow marks a hypothetical context used to probe a policy at a
+	// future cluster state (backfill.go); shadow passes never touch the
+	// scheduler's counters.
+	shadow bool
+	// bypasses counts admissions in this pass that jumped an
+	// earlier-arrived waiter.
+	bypasses int
 }
 
 type admission struct {
-	jobID int
-	cand  Candidate
+	jobID      int
+	cand       Candidate
+	backfilled bool
 }
 
 // Spec returns the cluster's node specification.
@@ -67,24 +82,43 @@ func (c *AdmitContext) Headroom() units.Watts { return c.headroom }
 func (c *AdmitContext) Pending() []Job {
 	out := make([]Job, 0, len(c.queue))
 	for _, j := range c.queue {
-		if !c.taken[j.ID] {
-			out = append(out, j)
+		if c.taken[j.ID] {
+			continue
 		}
+		if c.only != nil && *c.only != j.ID {
+			continue
+		}
+		out = append(out, j)
 	}
 	return out
+}
+
+// head returns the oldest pending job (arrival order; same-time
+// arrivals keep submission order) — the job EASY-style backfill
+// protects with a reservation.
+func (c *AdmitContext) head() (Job, bool) {
+	for _, j := range c.queue {
+		if !c.taken[j.ID] {
+			return j, true
+		}
+	}
+	return Job{}, false
 }
 
 // Best searches the job's width range × the DVFS ladder for the best
 // operating point under obj whose marginal power cost fits budget
 // (admission.go documents the cost model, the performance-slack rule,
-// and deadline preference). ok is false when the job should wait.
+// and deadline preference). While a backfill reservation is active,
+// only points it permits are considered. ok is false when the job
+// should wait.
 func (c *AdmitContext) Best(j Job, budget units.Watts, obj analysis.Objective) (Candidate, bool) {
-	return c.s.bestCandidate(j, c.free, budget, obj, c.now, c.relaxed)
+	return c.s.bestCandidate(j, c.free, budget, obj, c.now, c.relaxed, c.rsv)
 }
 
 // At prices one explicit (p, f) point for the job; ok is false when the
-// point is invalid, needs more ranks than are free, or exceeds the
-// context's remaining headroom.
+// point is invalid, needs more ranks than are free, exceeds the
+// context's remaining headroom, or would eat an active backfill
+// reservation.
 func (c *AdmitContext) At(j Job, p int, f units.Hertz) (Candidate, bool) {
 	if p < 1 || p > c.free {
 		return Candidate{}, false
@@ -93,12 +127,17 @@ func (c *AdmitContext) At(j Job, p int, f units.Hertz) (Candidate, bool) {
 	if !ok || cand.Cost > c.headroom {
 		return Candidate{}, false
 	}
+	if !c.rsv.permits(j.ID, c.now, cand) {
+		return Candidate{}, false
+	}
 	return cand, true
 }
 
 // Admit commits the job at the candidate point, deducting its ranks and
-// power from the context. Admitting a job twice, or beyond the free
-// capacity, panics: policies are in-package and this is a logic error.
+// power from the context (and, for jobs predicted to outlive an active
+// reservation, from the reservation's spare capacity). Admitting a job
+// twice, or beyond the free capacity, panics: policies are in-package
+// and this is a logic error.
 func (c *AdmitContext) Admit(j Job, cand Candidate) {
 	if c.taken[j.ID] {
 		panic("sched: job admitted twice in one pass")
@@ -106,10 +145,30 @@ func (c *AdmitContext) Admit(j Job, cand Candidate) {
 	if cand.P > c.free || cand.Cost > c.headroom {
 		panic("sched: admission exceeds free ranks or headroom")
 	}
+	backfilled := false
+	if c.rsv != nil && j.ID != c.rsv.jobID {
+		backfilled = true
+		if c.now+cand.Tp > c.rsv.at {
+			if cand.P > c.rsv.extraRanks || cand.Cost > c.rsv.extraWatts {
+				panic("sched: backfill admission would eat the head's reservation")
+			}
+			c.rsv.extraRanks -= cand.P
+			c.rsv.extraWatts -= cand.Cost
+		}
+	}
+	if !c.shadow {
+		for _, q := range c.queue {
+			if !c.taken[q.ID] && q.ID != j.ID &&
+				(q.Arrival < j.Arrival || (q.Arrival == j.Arrival && q.ID < j.ID)) {
+				c.bypasses++
+				break
+			}
+		}
+	}
 	c.taken[j.ID] = true
 	c.free -= cand.P
 	c.headroom -= cand.Cost
-	c.admitted = append(c.admitted, admission{jobID: j.ID, cand: cand})
+	c.admitted = append(c.admitted, admission{jobID: j.ID, cand: cand, backfilled: backfilled})
 }
 
 // byPriority orders jobs for the EE-aware policies: priority descending,

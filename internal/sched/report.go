@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -34,8 +35,18 @@ type Result struct {
 	EnergyPerJob units.Joules
 	MeanEE       float64
 
-	// MeanWait averages queue waits over completed jobs.
+	// MeanWait averages queue waits over completed jobs; MaxWait and
+	// P95Wait are the tail of the same distribution — the starvation
+	// indicators a backfill reservation bounds.
 	MeanWait units.Seconds
+	MaxWait  units.Seconds
+	P95Wait  units.Seconds
+	// BackfilledJobs counts jobs admitted past a blocked queue head
+	// under an active reservation; HeadBypasses counts every admission
+	// that jumped an earlier-arrived waiter (with or without a
+	// reservation protecting it).
+	BackfilledJobs int
+	HeadBypasses   int
 	// DeadlineMisses counts completed jobs that finished past their
 	// deadline (rejected jobs with deadlines also count as misses).
 	DeadlineMisses int
@@ -73,7 +84,7 @@ func (s *Scheduler) collect() Result {
 	}
 	sort.Ints(ids)
 
-	var waits units.Seconds
+	var waits []units.Seconds
 	var energy units.Joules
 	var ee float64
 	for _, id := range ids {
@@ -84,9 +95,12 @@ func (s *Scheduler) collect() Result {
 		switch r.State {
 		case Done:
 			res.Completed++
-			waits += r.Wait
+			waits = append(waits, r.Wait)
 			energy += r.Energy
 			ee += r.ModelEE
+			if r.Backfilled {
+				res.BackfilledJobs++
+			}
 			if r.Deadline > 0 && !r.DeadlineMet {
 				res.DeadlineMisses++
 			}
@@ -97,10 +111,18 @@ func (s *Scheduler) collect() Result {
 			}
 		}
 	}
+	res.HeadBypasses = s.headBypasses
 	if res.Completed > 0 {
 		res.EnergyPerJob = units.Joules(float64(energy) / float64(res.Completed))
 		res.MeanEE = ee / float64(res.Completed)
-		res.MeanWait = units.Seconds(float64(waits) / float64(res.Completed))
+		var sum units.Seconds
+		for _, w := range waits {
+			sum += w
+		}
+		res.MeanWait = units.Seconds(float64(sum) / float64(res.Completed))
+		sort.Slice(waits, func(a, b int) bool { return waits[a] < waits[b] })
+		res.MaxWait = waits[len(waits)-1]
+		res.P95Wait = waits[int(math.Ceil(0.95*float64(len(waits))))-1]
 	}
 	if res.Makespan > 0 {
 		res.Throughput = float64(res.Completed) / float64(res.Makespan)
@@ -118,13 +140,13 @@ func (r Result) String() string {
 // same trace — the schedrun CLI's output.
 func ComparisonTable(results []Result) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %9s %5s %4s %10s %12s %12s %7s %8s %9s %6s %7s\n",
-		"policy", "makespan", "done", "rej", "thru/s", "energy", "energy/job", "meanEE", "wait", "peakW", "viol", "retunes")
+	fmt.Fprintf(&b, "%-18s %9s %5s %4s %10s %12s %12s %7s %8s %8s %9s %6s %7s %5s\n",
+		"policy", "makespan", "done", "rej", "thru/s", "energy", "energy/job", "meanEE", "wait", "maxwait", "peakW", "viol", "retunes", "bfill")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-12s %9v %5d %4d %10.3f %12v %12v %7.4f %8v %9.1f %6d %7d\n",
+		fmt.Fprintf(&b, "%-18s %9v %5d %4d %10.3f %12v %12v %7.4f %8v %8v %9.1f %6d %7d %5d\n",
 			r.Policy, r.Makespan, r.Completed, r.Rejected, r.Throughput,
-			r.TotalEnergy, r.EnergyPerJob, r.MeanEE, r.MeanWait,
-			float64(r.PeakPower), r.CapViolations, r.FreqChanges)
+			r.TotalEnergy, r.EnergyPerJob, r.MeanEE, r.MeanWait, r.MaxWait,
+			float64(r.PeakPower), r.CapViolations, r.FreqChanges, r.BackfilledJobs)
 	}
 	return b.String()
 }
@@ -132,12 +154,16 @@ func ComparisonTable(results []Result) string {
 // JobTable renders the per-job records of one result.
 func (r Result) JobTable() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%4s %-4s %-8s %4s %8s %9s %9s %9s %11s %7s %7s\n",
-		"job", "app", "state", "p", "f[GHz]", "arrive", "start", "end", "energy", "EE", "retunes")
+	fmt.Fprintf(&b, "%4s %-4s %-8s %4s %8s %9s %9s %9s %11s %7s %7s %2s\n",
+		"job", "app", "state", "p", "f[GHz]", "arrive", "start", "end", "energy", "EE", "retunes", "bf")
 	for _, j := range r.Jobs {
 		f := float64(j.StartFreq) / 1e9
-		fmt.Fprintf(&b, "%4d %-4s %-8s %4d %8.1f %9v %9v %9v %11v %7.4f %7d\n",
-			j.ID, j.Vector.Name, j.State, j.P, f, j.Arrival, j.Start, j.End, j.Energy, j.ModelEE, j.FreqChanges)
+		bf := ""
+		if j.Backfilled {
+			bf = "y"
+		}
+		fmt.Fprintf(&b, "%4d %-4s %-8s %4d %8.1f %9v %9v %9v %11v %7.4f %7d %2s\n",
+			j.ID, j.Vector.Name, j.State, j.P, f, j.Arrival, j.Start, j.End, j.Energy, j.ModelEE, j.FreqChanges, bf)
 	}
 	return b.String()
 }

@@ -153,13 +153,19 @@ func TestScheduleDeterministic(t *testing.T) {
 	}
 }
 
-// Every policy honours the cap on a contended trace, and the energy
-// books balance: job energy + parked energy equals the profiler's
-// integrated trace (small slack for windows spanning mid-window
-// retunes, which the profiler prices at window-end parameters).
+// Every policy — bare and wrapped in backfill reservations — honours
+// the cap on a contended trace, and the energy books balance: job
+// energy + parked energy equals the profiler's integrated trace (small
+// slack for windows spanning mid-window retunes, which the profiler
+// prices at window-end parameters).
 func TestPoliciesRespectCapAndEnergyBooks(t *testing.T) {
 	trace := SyntheticTrace(TraceConfig{Jobs: 24, Seed: 3, MaxWidth: 8})
+	pols := make(map[string]Policy)
 	for name, pol := range Policies() {
+		pols[name] = pol
+		pols["backfill+"+name] = Backfill(pol)
+	}
+	for name, pol := range pols {
 		s, err := New(Config{Spec: testSpec(), Ranks: 16, Cap: 900, Policy: pol, Seed: 3})
 		if err != nil {
 			t.Fatal(err)
@@ -255,6 +261,234 @@ func TestSyntheticTrace(t *testing.T) {
 		if err := a[i].validate(); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// narrowRuntime measures how long one serial EP job takes alone on the
+// test cluster — the yardstick the starvation trace is built from.
+func narrowRuntime(t *testing.T, n float64) units.Seconds {
+	t.Helper()
+	s, err := New(Config{Spec: testSpec(), Ranks: 8, Cap: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run([]Job{{ID: 0, Vector: app.EP(), N: n, MaxWidth: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 1 {
+		t.Fatalf("probe job did not complete: %+v", res.Jobs[0])
+	}
+	return res.Jobs[0].End - res.Jobs[0].Start
+}
+
+// starvationTrace is the liveness regression workload: a rigid 8-wide
+// job arrives into a continuous stream of serial jobs whose lifetimes
+// overlap, so the cluster never has 8 ranks free at once on its own.
+func starvationTrace(r units.Seconds) []Job {
+	jobs := []Job{
+		{ID: 0, Vector: app.EP(), N: 4e6, MaxWidth: 1, Arrival: 0},
+		{ID: 1, Vector: app.EP(), N: 1e7, MinWidth: 8, MaxWidth: 8, Arrival: r / 4},
+	}
+	for i := 2; i < 26; i++ {
+		jobs = append(jobs, Job{
+			ID: i, Vector: app.EP(), N: 4e6, MaxWidth: 1,
+			Arrival: units.Seconds(float64(i-1) * float64(r) / 2),
+		})
+	}
+	return jobs
+}
+
+// Tentpole regression: under greedy admission a continuous narrow
+// stream defers the wide job until the stream ends; under EASY backfill
+// the reservation bounds its wait to roughly one narrow-job drain.
+func TestBackfillBoundsWideJobStarvation(t *testing.T) {
+	r := narrowRuntime(t, 4e6)
+	trace := starvationTrace(r)
+	run := func(pol Policy) Result {
+		s, err := New(Config{Spec: testSpec(), Ranks: 8, Cap: 2000, Policy: pol, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	greedy := run(EEMax())
+	easy := run(Backfill(EEMax()))
+
+	gw, ew := greedy.Jobs[1], easy.Jobs[1]
+	if gw.State != Done || ew.State != Done {
+		t.Fatalf("wide job must complete under both: greedy %v, backfill %v", gw.State, ew.State)
+	}
+	// The greedy baseline demonstrably defers the wide job deep into
+	// the stream…
+	if float64(gw.Wait) < 6*float64(r) {
+		t.Fatalf("greedy baseline did not starve the wide job: wait %v vs narrow runtime %v", gw.Wait, r)
+	}
+	// …while the reservation bounds its wait to about one narrow-job
+	// drain (slack for slice quantisation).
+	if float64(ew.Wait) > 2.5*float64(r) {
+		t.Fatalf("backfill did not bound the wide job's wait: %v vs narrow runtime %v", ew.Wait, r)
+	}
+	if easy.CapViolations != 0 {
+		t.Fatalf("backfill violated the cap %d times", easy.CapViolations)
+	}
+	// Everything else still completes — reservations trade throughput,
+	// not liveness elsewhere.
+	if easy.Completed != len(trace) {
+		t.Fatalf("backfill completed %d of %d jobs", easy.Completed, len(trace))
+	}
+	// The greedy pass bypassed the waiting head; backfill bounds that.
+	if greedy.HeadBypasses == 0 {
+		t.Fatal("greedy baseline should record head bypasses")
+	}
+	if easy.HeadBypasses >= greedy.HeadBypasses {
+		t.Fatalf("backfill should bypass the head less: %d vs greedy %d", easy.HeadBypasses, greedy.HeadBypasses)
+	}
+}
+
+// Acceptance: on the schedrun default trace backfill keeps every wait
+// bounded below the greedy tail, marks backfilled jobs, and never
+// violates the cap.
+func TestBackfillOn64JobTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 64-job trace")
+	}
+	trace := SyntheticTrace(TraceConfig{Jobs: 64, Seed: 1})
+	run := func(pol Policy) Result {
+		s, err := New(Config{Spec: testSpec(), Ranks: 64, Cap: 2500, Policy: pol, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	greedy := run(EEMax())
+	easy := run(Backfill(EEMax()))
+	if easy.Completed != 64 || easy.CapViolations != 0 {
+		t.Fatalf("backfill on the 64-job trace: %+v", easy)
+	}
+	if easy.MaxWait >= greedy.MaxWait {
+		t.Fatalf("backfill max wait %v should undercut greedy %v", easy.MaxWait, greedy.MaxWait)
+	}
+	if easy.BackfilledJobs == 0 {
+		t.Fatal("no job was marked Backfilled on a contended trace")
+	}
+}
+
+// Backfilled schedules are as deterministic as bare ones: one seed, one
+// schedule, bit for bit — reservations included.
+func TestBackfillDeterministic(t *testing.T) {
+	run := func() Result {
+		s, err := New(Config{Spec: testSpec(), Ranks: 16, Cap: 900, Policy: Backfill(EEMax()), Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(SyntheticTrace(TraceConfig{Jobs: 24, Seed: 11, MaxWidth: 8}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		ja.Job, jb.Job = Job{}, Job{}
+		if !reflect.DeepEqual(ja, jb) {
+			t.Fatalf("job %d differs between identical backfill runs:\n%+v\n%+v", i, ja, jb)
+		}
+	}
+}
+
+// Wrapping is idempotent and composes the report name.
+func TestBackfillWrapping(t *testing.T) {
+	bf := Backfill(EEMax())
+	if bf.Name() != "backfill+ee-max" {
+		t.Fatalf("name %q", bf.Name())
+	}
+	if Backfill(bf) != bf {
+		t.Fatal("double wrapping must be a no-op")
+	}
+	if bf.DVFS() != EEMax().DVFS() || Backfill(FIFO()).DVFS() != FIFO().DVFS() {
+		t.Fatal("DVFS must delegate to the inner policy")
+	}
+}
+
+// Satellite regression: a flat-energy ladder segment is not a gain —
+// the governor must not walk jobs across it (retune churn with no
+// benefit). Before the strict-improvement epsilon, equal predicted
+// energy counted as a gain and every sample retuned.
+func TestGovernorBoostFlatEnergyLadderNoChurn(t *testing.T) {
+	s, err := New(Config{Spec: testSpec(), Ranks: 4, Cap: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := epJob(0, 2)
+	e := &entry{job: j, res: JobResult{Job: j, State: Running}}
+	n := len(s.ladder)
+	lp := ladderProfile{
+		ee:   make([]float64, n),
+		ep:   make([]units.Joules, n),
+		draw: make([]units.Watts, n),
+		tp:   make([]units.Seconds, n),
+	}
+	for i := 0; i < n; i++ {
+		lp.ee[i] = 0.5 // flat EE…
+		lp.ep[i] = 100 // …and flat predicted energy
+		lp.draw[i] = units.Watts(50 + 10*i)
+		lp.tp[i] = 1
+	}
+	rj := &runningJob{e: e, ranks: []int{0, 1}, fIdx: 0, admIdx: 0, prof: lp}
+	s.running = []*runningJob{rj}
+	s.freeRanks = []int{2, 3}
+	s.queue = []*entry{{job: epJob(1, 1)}} // contended: not drain mode
+	s.blocked = true                       // loanable watts on offer
+	g := &governor{s: s}
+	g.boost()
+	if rj.fIdx != 0 || e.res.FreqChanges != 0 {
+		t.Fatalf("flat ladder caused retune churn: fIdx=%d retunes=%d", rj.fIdx, e.res.FreqChanges)
+	}
+}
+
+// Satellite regression: the throttle victim order is lowest priority,
+// then biggest shed per step, then *highest* ID — as the doc comment
+// always promised. On equal priority and equal saving the higher-ID
+// job steps down first.
+func TestGovernorThrottleVictimTieBreak(t *testing.T) {
+	s, err := New(Config{Spec: testSpec(), Ranks: 4, Cap: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := len(s.ladder) - 1
+	mk := func(id int, ranks []int) *runningJob {
+		j := epJob(id, 2)
+		e := &entry{job: j, res: JobResult{Job: j, State: Running}}
+		prof, ok := s.profileLadder(j, 2)
+		if !ok {
+			t.Fatal("profileLadder failed")
+		}
+		rj := &runningJob{e: e, ranks: ranks, fIdx: top, admIdx: top, prof: prof}
+		for _, r := range ranks {
+			if err := s.cl.SetRankFrequency(r, s.ladder[top]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rj
+	}
+	a, b := mk(0, []int{0, 1}), mk(1, []int{2, 3})
+	s.running = []*runningJob{a, b}
+	s.freeRanks = nil
+	s.cfg.Cap = s.predictedTotal() - 1 // one step from either job suffices
+	g := &governor{s: s}
+	g.throttle()
+	if a.fIdx != top || b.fIdx != top-1 {
+		t.Fatalf("tie-break picked the wrong victim: job0 fIdx=%d job1 fIdx=%d (want job1 stepped down)", a.fIdx, b.fIdx)
 	}
 }
 

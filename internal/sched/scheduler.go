@@ -69,6 +69,18 @@ type Scheduler struct {
 	// spare watts are loanable to running jobs (governor boost).
 	blocked bool
 
+	// rsv is the active backfill reservation, if any: the ranks and
+	// watts the blocked queue head is promised at a model-predicted
+	// future start time (backfill.go). Recomputed on every admission
+	// pass; nil whenever the policy is not a Backfill wrapper or the
+	// head is startable. The governor consults it so boosts never loan
+	// watts the reservation holds.
+	rsv *reservation
+
+	// headBypasses counts admissions that jumped an earlier-arrived
+	// waiter — the starvation pressure the backfill reservation bounds.
+	headBypasses int
+
 	parkedEnergy units.Joules
 	ran          bool
 }
@@ -94,6 +106,13 @@ type runningJob struct {
 	slices    int
 	left      int // rank procs still executing
 	energy    units.Joules
+
+	// progress and pricedAt are the shadow-time bookkeeping backfill
+	// reservations rest on: progress is the model-predicted fraction of
+	// the job completed by pricedAt, advanced at every retune so the
+	// remaining work is always priced at the current ladder point.
+	progress float64
+	pricedAt units.Seconds
 }
 
 func (rj *runningJob) width() int { return len(rj.ranks) }
@@ -184,6 +203,28 @@ func (s *Scheduler) predictedTotal() units.Watts {
 // headroom is the power left under the cap.
 func (s *Scheduler) headroom() units.Watts { return s.cfg.Cap - s.predictedTotal() }
 
+// predictedEndAt returns the model-predicted completion time of a
+// running job if it executed at ladder index idx from now on: the work
+// fraction done so far (progress plus the stretch since the last
+// repricing, at the current frequency) leaves 1−frac of the ladder-idx
+// runtime. This is the virtual clock backfill reservations walk.
+func (s *Scheduler) predictedEndAt(rj *runningJob, idx int) units.Seconds {
+	now := s.cl.Kernel().Now()
+	frac := rj.progress
+	if tp := rj.prof.tp[rj.fIdx]; tp > 0 {
+		frac += float64(now-rj.pricedAt) / float64(tp)
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return now + units.Seconds((1-frac)*float64(rj.prof.tp[idx]))
+}
+
+// predictedEnd is predictedEndAt at the job's current frequency.
+func (s *Scheduler) predictedEnd(rj *runningJob) units.Seconds {
+	return s.predictedEndAt(rj, rj.fIdx)
+}
+
 // bankMeter integrates rank r's energy since its last banking point at
 // its current machine vector and returns it. Callers must bank before
 // any SetRankFrequency so elapsed time is priced at the outgoing vector.
@@ -269,6 +310,9 @@ func (s *Scheduler) reject(e *entry, reason string) {
 // point now beats queueing forever. Jobs the relaxed pass still cannot
 // place are infeasible under this cap and are rejected — never spun on.
 func (s *Scheduler) tryAdmit() {
+	// Every scheduling edge invalidates the previous pass's reservation;
+	// a Backfill policy re-derives it from the fresh cluster state.
+	s.rsv = nil
 	defer func() { s.blocked = len(s.queue) > 0 }()
 	if len(s.queue) == 0 {
 		return
@@ -303,9 +347,10 @@ func (s *Scheduler) admitPass(relaxed bool) int {
 		ctx.queue = append(ctx.queue, e.job)
 	}
 	s.cfg.Policy.Admit(ctx)
+	s.headBypasses += ctx.bypasses
 
 	for _, adm := range ctx.admitted {
-		s.start(s.entries[adm.jobID], adm.cand)
+		s.start(s.entries[adm.jobID], adm.cand, adm.backfilled)
 	}
 	if len(ctx.admitted) > 0 {
 		kept := s.queue[:0]
@@ -321,7 +366,7 @@ func (s *Scheduler) admitPass(relaxed bool) int {
 
 // start dispatches a job onto the lowest free ranks at the candidate
 // operating point and spawns its rank processes.
-func (s *Scheduler) start(e *entry, cand Candidate) {
+func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool) {
 	now := s.cl.Kernel().Now()
 	j := e.job
 	prof, ok := s.profileLadder(j, cand.P)
@@ -364,6 +409,7 @@ func (s *Scheduler) start(e *entry, cand Candidate) {
 		sliceComm: perComm / units.Seconds(float64(slices)),
 		slices:    slices,
 		left:      cand.P,
+		pricedAt:  now,
 	}
 	for _, r := range ranks {
 		s.parkedEnergy += s.bankMeter(r)
@@ -380,6 +426,7 @@ func (s *Scheduler) start(e *entry, cand Candidate) {
 	e.res.Start = now
 	e.res.Wait = now - j.Arrival
 	e.res.ModelEE = cand.EE
+	e.res.Backfilled = backfilled
 
 	for _, r := range ranks {
 		r := r
@@ -396,8 +443,7 @@ func (s *Scheduler) runRank(rj *runningJob, rank int, p *sim.Proc) {
 	for i := 0; i < rj.slices; i++ {
 		s.cl.ComputeAlpha(p, rank, rj.sliceOn, rj.sliceOff, rj.alpha)
 		if rj.sliceComm > 0 {
-			s.cl.RecordNetworkBusy(rank, rj.sliceComm)
-			p.Sleep(units.Seconds(rj.alpha * float64(rj.sliceComm)))
+			s.cl.CommAlpha(p, rank, rj.sliceComm, rj.alpha)
 		}
 	}
 	s.cl.NoteWall(p.Now())
