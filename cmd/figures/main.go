@@ -1,9 +1,14 @@
 // Command figures regenerates the tables and figures of the paper's
 // evaluation section against the simulated clusters.
 //
+// Measured sweeps run their points across a worker pool (one simulated
+// cluster per point, seeded per point), and every model-surface figure
+// prices its grid through one shared operating-point cache — the output
+// is byte-identical at any -workers value.
+//
 // Usage:
 //
-//	figures [-fig 2a|2b|3|4|5|6|7|8|9|10|all] [-quick] [-csv] [-seed N]
+//	figures [-fig 2a|2b|3|4|5|6|7|8|9|10|all] [-quick] [-csv] [-seed N] [-workers N]
 package main
 
 import (
@@ -12,6 +17,8 @@ import (
 	"os"
 
 	"repro/internal/figures"
+	"repro/internal/machine"
+	"repro/internal/opcache"
 )
 
 func main() {
@@ -19,9 +26,17 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced problem sizes and rank counts")
 	csv := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	seed := flag.Int64("seed", 42, "measurement-noise seed")
+	workers := flag.Int("workers", 0, "concurrent sweep points per figure (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	opts := figures.Options{Quick: *quick, Seed: *seed}
+	// One operating-point cache shared by every model-surface figure:
+	// the (p, f) grids of figures 5–9 are priced once across the run.
+	cache, err := opcache.New(machine.SystemG())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := figures.Options{Quick: *quick, Seed: *seed, Workers: *workers, Cache: cache}
 	gens := figures.All()
 	if *figID != "all" {
 		g, err := figures.ByID(*figID)

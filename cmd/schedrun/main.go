@@ -13,15 +13,24 @@
 // A specific wrapped policy can also be named directly, e.g.
 // -policy backfill+ee-max.
 //
+// Profiling the scheduler hot path needs no test binary: -cpuprofile /
+// -memprofile write pprof files covering the schedule runs, and
+// -repeat N executes each selected policy's schedule N times so short
+// traces accumulate enough samples (the comparison table reports the
+// last repetition; repetitions are independent and identical).
+//
 // Usage:
 //
 //	schedrun -jobs 64 -cap 2500 [-ranks 64] [-policy all] [-backfill] [-detail]
+//	         [-repeat N] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -40,7 +49,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace and simulation seed")
 	interval := flag.Float64("interval", 0, "governor sampling interval in seconds (0 = 25ms)")
 	detail := flag.Bool("detail", false, "print per-job tables")
+	repeat := flag.Int("repeat", 1, "run each policy's schedule N times (profiling workload)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the schedule runs to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the schedule runs to this file")
 	flag.Parse()
+	if *repeat < 1 {
+		*repeat = 1
+	}
 
 	spec, ok := machine.Presets()[strings.ToLower(*clusterName)]
 	if !ok {
@@ -85,23 +100,42 @@ func main() {
 	fmt.Printf("trace: %d jobs on %s/%d ranks under a %.0f W cap (seed %d)\n\n",
 		*jobs, spec.Name, *ranks, *cap, *seed)
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		exitOn(err)
+		defer f.Close()
+		exitOn(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+
 	var results []sched.Result
 	for _, pol := range policies {
-		s, err := sched.New(sched.Config{
-			Spec:     spec,
-			Ranks:    *ranks,
-			Cap:      units.Watts(*cap),
-			Policy:   pol,
-			Interval: units.Seconds(*interval),
-			Seed:     *seed,
-		})
-		exitOn(err)
-		res, err := s.Run(trace)
-		exitOn(err)
+		var res sched.Result
+		for r := 0; r < *repeat; r++ {
+			s, err := sched.New(sched.Config{
+				Spec:     spec,
+				Ranks:    *ranks,
+				Cap:      units.Watts(*cap),
+				Policy:   pol,
+				Interval: units.Seconds(*interval),
+				Seed:     *seed,
+			})
+			exitOn(err)
+			res, err = s.Run(trace)
+			exitOn(err)
+		}
 		results = append(results, res)
 		if *detail {
 			fmt.Printf("== %s ==\n%s\n", res.Policy, res.JobTable())
 		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		exitOn(err)
+		runtime.GC()
+		exitOn(pprof.WriteHeapProfile(f))
+		f.Close()
 	}
 
 	fmt.Print(sched.ComparisonTable(results))

@@ -12,11 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"strings"
 
 	"repro/internal/app"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/opcache"
 	"repro/internal/units"
 )
 
@@ -43,6 +45,20 @@ type Surface struct {
 
 // SurfacePF evaluates EE over (p, f) at fixed n — Figures 5, 7, 9.
 func SurfacePF(spec machine.Spec, v app.Vector, n float64, ps []int, fs []units.Hertz) (Surface, error) {
+	return SurfacePFWith(nil, nil, spec, v, n, ps, fs)
+}
+
+// SurfacePFWith is SurfacePF priced through a shared operating-point
+// cache: ladder frequencies become cache lookups keyed by the caller's
+// owner token, so sweeps over the same vector grid (or a scheduler that
+// already priced it) evaluate each point once. Off-ladder frequencies,
+// a nil cache, or a cache built for a different machine (compared by
+// full spec equality, not name — a tweaked preset must not be served
+// another machine's predictions) fall back to direct model evaluation.
+func SurfacePFWith(c *opcache.Cache, owner any, spec machine.Spec, v app.Vector, n float64, ps []int, fs []units.Hertz) (Surface, error) {
+	if c != nil && !reflect.DeepEqual(c.Spec(), spec) {
+		c = nil
+	}
 	s := Surface{App: v.Name, FixedN: n, Ps: ps, ColKind: "f"}
 	for _, f := range fs {
 		s.Cols = append(s.Cols, float64(f))
@@ -51,11 +67,7 @@ func SurfacePF(spec machine.Spec, v app.Vector, n float64, ps []int, fs []units.
 		var eeRow []float64
 		var ptRow []Point
 		for _, f := range fs {
-			mp, err := spec.AtFrequency(f)
-			if err != nil {
-				return Surface{}, err
-			}
-			pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
+			pr, err := predictAt(c, owner, spec, v, n, p, f)
 			if err != nil {
 				return Surface{}, fmt.Errorf("analysis: %s at p=%d f=%v: %w", v.Name, p, f, err)
 			}
@@ -70,8 +82,16 @@ func SurfacePF(spec machine.Spec, v app.Vector, n float64, ps []int, fs []units.
 
 // SurfacePN evaluates EE over (p, n) at fixed f — Figures 6 and 8.
 func SurfacePN(spec machine.Spec, v app.Vector, f units.Hertz, ps []int, ns []float64) (Surface, error) {
-	mp, err := spec.AtFrequency(f)
-	if err != nil {
+	return SurfacePNWith(nil, nil, spec, v, f, ps, ns)
+}
+
+// SurfacePNWith is SurfacePN through a shared operating-point cache; see
+// SurfacePFWith for the caching contract.
+func SurfacePNWith(c *opcache.Cache, owner any, spec machine.Spec, v app.Vector, f units.Hertz, ps []int, ns []float64) (Surface, error) {
+	if c != nil && !reflect.DeepEqual(c.Spec(), spec) {
+		c = nil
+	}
+	if _, err := spec.AtFrequency(f); err != nil {
 		return Surface{}, err
 	}
 	s := Surface{App: v.Name, FixedF: f, Ps: ps, Cols: ns, ColKind: "n"}
@@ -79,7 +99,7 @@ func SurfacePN(spec machine.Spec, v app.Vector, f units.Hertz, ps []int, ns []fl
 		var eeRow []float64
 		var ptRow []Point
 		for _, n := range ns {
-			pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
+			pr, err := predictAt(c, owner, spec, v, n, p, f)
 			if err != nil {
 				return Surface{}, fmt.Errorf("analysis: %s at p=%d n=%g: %w", v.Name, p, n, err)
 			}
@@ -90,6 +110,27 @@ func SurfacePN(spec machine.Spec, v app.Vector, f units.Hertz, ps []int, ns []fl
 		s.Points = append(s.Points, ptRow)
 	}
 	return s, nil
+}
+
+// predictAt evaluates one model point, through the cache when the
+// frequency sits on the machine's DVFS ladder and directly otherwise.
+// Cached and direct evaluation run the identical core.Model.Predict, so
+// results are bit-for-bit the same either way. The lazy single-point
+// path (opcache.PointAt) is used rather than whole-ladder rows: a
+// fixed-frequency (p, n) sweep reads one frequency per cell, and
+// pricing the other ladder points would cost more Predict calls than
+// the cache saves.
+func predictAt(c *opcache.Cache, owner any, spec machine.Spec, v app.Vector, n float64, p int, f units.Hertz) (core.Prediction, error) {
+	if c != nil {
+		if fi := c.LadderIndex(f); fi >= 0 {
+			return c.PointAt(owner, v, n, p, fi)
+		}
+	}
+	mp, err := spec.AtFrequency(f)
+	if err != nil {
+		return core.Prediction{}, err
+	}
+	return core.Model{Machine: mp, App: v.At(n, p)}.Predict()
 }
 
 // Render draws the surface as a fixed-width table (the textual Figure

@@ -141,7 +141,9 @@ type Cluster struct {
 	shmModel netmodel.Model
 
 	inflight []inflightOp // per rank: the operation currently executing
+	opActive []bool       // per rank: an operation is in flight (guards Start/CompleteOp pairing)
 	banks    []energyBank // per rank: energy banked at past operating points
+	retunes  []int64      // per rank: effective frequency changes absorbed
 }
 
 // energyBank accumulates the energy a rank dissipated at earlier DVFS
@@ -255,7 +257,9 @@ func New(cfg Config) (*Cluster, error) {
 		c.rankNode[r] = r / coresPerNode
 	}
 	c.inflight = make([]inflightOp, cfg.Ranks)
+	c.opActive = make([]bool, cfg.Ranks)
 	c.banks = make([]energyBank, cfg.Ranks)
+	c.retunes = make([]int64, cfg.Ranks)
 	return c, nil
 }
 
@@ -279,6 +283,7 @@ func (c *Cluster) SetRankFrequency(rank int, f units.Hertz) error {
 	}
 	c.bankRank(r)
 	c.params[r] = mp
+	c.retunes[r]++
 	return nil
 }
 
@@ -370,28 +375,63 @@ func (c *Cluster) Compute(p *sim.Proc, rank int, onChip, offChip float64) {
 // power-budget scheduler runs one job per rank set, each with its own
 // application vector). alpha must lie in (0,1].
 func (c *Cluster) ComputeAlpha(p *sim.Proc, rank int, onChip, offChip, alpha float64) {
+	wall := c.StartCompute(rank, onChip, offChip, alpha)
+	p.Sleep(wall)
+	c.CompleteOp(rank)
+}
+
+// StartCompute begins an α-overlapped compute operation on a rank at the
+// current virtual time without a backing process: it performs exactly the
+// counter and in-flight registration ComputeAlpha does before sleeping
+// and returns the operation's wall-clock duration. The caller must
+// arrange for CompleteOp(rank) to run wall later — typically from a
+// scheduled kernel event. This is the event-driven fast path the
+// power-budget scheduler executes job slices on; ComputeAlpha is
+// StartCompute + Sleep + CompleteOp.
+func (c *Cluster) StartCompute(rank int, onChip, offChip, alpha float64) units.Seconds {
 	if onChip < 0 || offChip < 0 {
 		panic(fmt.Sprintf("cluster: negative workload (%g,%g)", onChip, offChip))
 	}
 	if alpha <= 0 || alpha > 1 {
 		panic(fmt.Sprintf("cluster: overlap factor α=%g outside (0,1]", alpha))
 	}
-	mp := c.params[c.checkRank(rank)]
+	r := c.checkRank(rank)
+	if c.opActive[r] {
+		panic(fmt.Sprintf("cluster: rank %d already has an operation in flight", r))
+	}
+	mp := c.params[r]
 	dc := c.jitter(units.Seconds(onChip*float64(mp.Tc)), c.cfg.Noise.ComputeJitter)
 	dm := c.jitter(units.Seconds(offChip*float64(mp.Tm)), c.cfg.Noise.MemoryJitter)
 
-	ctr := c.counters.Rank(rank)
+	ctr := c.counters.Rank(r)
 	ctr.AddCompute(onChip)
 	ctr.AddMemory(offChip)
 
 	wall := units.Seconds(alpha * float64(dc+dm))
 	now := c.kernel.Now()
-	c.inflight[rank] = inflightOp{start: now, end: now + wall, dc: dc, dm: dm}
-	p.Sleep(wall)
-	c.inflight[rank] = inflightOp{}
-	ctr.ComputeTime += dc
-	ctr.MemoryTime += dm
-	c.noteEnd(p.Now())
+	c.inflight[r] = inflightOp{start: now, end: now + wall, dc: dc, dm: dm}
+	c.opActive[r] = true
+	return wall
+}
+
+// CompleteOp retires the in-flight operation StartCompute/StartComm/
+// StartIO registered on a rank: component busy times are credited to the
+// rank's counters and the measured makespan advances to now. It must run
+// at the operation's end time.
+func (c *Cluster) CompleteOp(rank int) {
+	r := c.checkRank(rank)
+	if !c.opActive[r] {
+		panic(fmt.Sprintf("cluster: CompleteOp on rank %d with nothing in flight", r))
+	}
+	op := c.inflight[r]
+	c.inflight[r] = inflightOp{}
+	c.opActive[r] = false
+	ctr := c.counters.Rank(r)
+	ctr.ComputeTime += op.dc
+	ctr.MemoryTime += op.dm
+	ctr.IOTime += op.dio
+	ctr.NetworkTime += op.dnet
+	c.noteEnd(c.kernel.Now())
 }
 
 // IOAccess models a flat I/O access of the given device time (paper
@@ -399,17 +439,27 @@ func (c *Cluster) ComputeAlpha(p *sim.Proc, rank int, onChip, offChip, alpha flo
 // paper do not exercise it, but the component is wired through the energy
 // model for completeness.
 func (c *Cluster) IOAccess(p *sim.Proc, rank int, d units.Seconds) {
+	wall := c.StartIO(rank, d)
+	p.Sleep(wall)
+	c.CompleteOp(rank)
+}
+
+// StartIO is the process-free counterpart of IOAccess: register the
+// in-flight I/O operation and return its wall time; the caller must run
+// CompleteOp(rank) at its end.
+func (c *Cluster) StartIO(rank int, d units.Seconds) units.Seconds {
 	if d < 0 {
 		panic(fmt.Sprintf("cluster: negative I/O time %v", d))
 	}
-	ctr := c.counters.Rank(c.checkRank(rank))
+	r := c.checkRank(rank)
+	if c.opActive[r] {
+		panic(fmt.Sprintf("cluster: rank %d already has an operation in flight", r))
+	}
 	wall := units.Seconds(c.alpha * float64(d))
 	now := c.kernel.Now()
-	c.inflight[rank] = inflightOp{start: now, end: now + wall, dio: d}
-	p.Sleep(wall)
-	c.inflight[rank] = inflightOp{}
-	ctr.IOTime += d
-	c.noteEnd(p.Now())
+	c.inflight[r] = inflightOp{start: now, end: now + wall, dio: d}
+	c.opActive[r] = true
+	return wall
 }
 
 // MessageTime prices a message from src to dst (unscaled by α): intra-node
@@ -474,6 +524,15 @@ func (c *Cluster) RecordNetworkBusy(rank int, d units.Seconds) {
 // BusySnapshot attributes it pro rata over the transfer instead of as a
 // spike at the boundary. alpha must lie in (0,1].
 func (c *Cluster) CommAlpha(p *sim.Proc, rank int, d units.Seconds, alpha float64) {
+	wall := c.StartComm(rank, d, alpha)
+	p.Sleep(wall)
+	c.CompleteOp(rank)
+}
+
+// StartComm is the process-free counterpart of CommAlpha: register the
+// in-flight network occupancy and return the α-overlapped wall time; the
+// caller must run CompleteOp(rank) at its end.
+func (c *Cluster) StartComm(rank int, d units.Seconds, alpha float64) units.Seconds {
 	if d < 0 {
 		panic(fmt.Sprintf("cluster: negative network time %v", d))
 	}
@@ -481,13 +540,14 @@ func (c *Cluster) CommAlpha(p *sim.Proc, rank int, d units.Seconds, alpha float6
 		panic(fmt.Sprintf("cluster: overlap factor α=%g outside (0,1]", alpha))
 	}
 	r := c.checkRank(rank)
+	if c.opActive[r] {
+		panic(fmt.Sprintf("cluster: rank %d already has an operation in flight", r))
+	}
 	wall := units.Seconds(alpha * float64(d))
 	now := c.kernel.Now()
 	c.inflight[r] = inflightOp{start: now, end: now + wall, dnet: d}
-	p.Sleep(wall)
-	c.inflight[r] = inflightOp{}
-	c.counters.Rank(r).NetworkTime += d
-	c.noteEnd(p.Now())
+	c.opActive[r] = true
+	return wall
 }
 
 // NoteWall extends the measured makespan to t if t is later than every

@@ -58,6 +58,25 @@ func (c *Cluster) EnergySince(rank int, since units.Seconds, base ComponentBusy)
 	return idle + cpu + mem + io, cur
 }
 
+// ComponentEnergyTotals returns rank r's cumulative energy decomposition
+// from provisioning to now, piecewise-exact across DVFS retunes: the
+// banked segments priced at their own operating points plus the tail at
+// the current vector. Differencing consecutive readings gives exact
+// window energies no matter how many retunes the window spans — the
+// power profiler's correction path rests on this (idle is the lumped
+// Psys-idle integral; the active components are per category).
+func (c *Cluster) ComponentEnergyTotals(rank int) (idle, cpu, mem, io units.Joules) {
+	r := c.checkRank(rank)
+	bk := c.banks[r]
+	ti, tc, tm, tio, _ := c.componentEnergySince(r, bk.tBase, bk.busyBase)
+	return bk.idle + ti, bk.cpu + tc, bk.mem + tm, bk.io + tio
+}
+
+// RetuneCount returns how many effective SetRankFrequency changes rank r
+// has absorbed; samplers compare counts to detect windows that span an
+// operating-point change.
+func (c *Cluster) RetuneCount(rank int) int64 { return c.retunes[c.checkRank(rank)] }
+
 // energy computes the exact (noise-free) energy decomposition. Each rank
 // contributes its banked energy from earlier DVFS operating points plus
 // the tail since the last frequency change priced at the current vector;

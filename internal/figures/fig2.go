@@ -6,16 +6,39 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/npb"
 )
 
 // efficiencyScaling measures performance efficiency T1/(p·Tp) and energy
 // efficiency E1/Ep for a kernel across a p sweep — the measured curves of
-// Figures 2a/2b.
-func efficiencyScaling(kf kernelFactory, spec machine.Spec, ps []int, seed int64) (Figure, error) {
-	base, err := kf.measured(spec, 1, seed)
-	if err != nil {
+// Figures 2a/2b. Sweep points are independent simulations with per-point
+// seeds (the serial baseline keeps the base seed, parallelism p uses
+// seed+p, exactly the sequential seeding), so they run concurrently
+// across o.Workers and assemble into the same bytes in p order.
+func efficiencyScaling(o Options, kf kernelFactory, spec machine.Spec, ps []int, seed int64) (Figure, error) {
+	reports := make([]npb.Report, len(ps))
+	if err := parEach(o, len(ps), func(i int) error {
+		s := seed + int64(ps[i])
+		if ps[i] == 1 {
+			s = seed
+		}
+		rep, err := kf.measured(spec, ps[i], s)
+		reports[i] = rep
+		return err
+	}); err != nil {
 		return Figure{}, err
 	}
+	baseIdx := -1
+	for i, p := range ps {
+		if p == 1 {
+			baseIdx = i
+		}
+	}
+	if baseIdx < 0 {
+		return Figure{}, fmt.Errorf("figures: efficiency scaling needs the serial point p=1 in %v", ps)
+	}
+	base := reports[baseIdx]
+
 	var body, csv strings.Builder
 	fmt.Fprintf(&body, "%6s %14s %14s %12s %12s\n", "p", "time", "energy", "perf-eff", "energy-eff")
 	fmt.Fprintf(&body, "%6d %14v %14v %12.4f %12.4f\n", 1, base.Makespan, base.Measured.Total, 1.0, 1.0)
@@ -23,14 +46,11 @@ func efficiencyScaling(kf kernelFactory, spec machine.Spec, ps []int, seed int64
 	fmt.Fprintf(&csv, "1,%g,%g,1,1\n", float64(base.Makespan), float64(base.Measured.Total))
 
 	fig := Figure{}
-	for _, p := range ps {
+	for i, p := range ps {
 		if p == 1 {
 			continue
 		}
-		rep, err := kf.measured(spec, p, seed+int64(p))
-		if err != nil {
-			return Figure{}, err
-		}
+		rep := reports[i]
 		pe := float64(base.Makespan) / (float64(p) * float64(rep.Makespan))
 		ee, err := core.MeasuredEE(base.Measured.Total, rep.Measured.Total)
 		if err != nil {
@@ -53,7 +73,7 @@ func Fig2a(o Options) (Figure, error) {
 	if o.Quick {
 		ps = []int{1, 2, 4, 8}
 	}
-	fig, err := efficiencyScaling(ftFactory(o, ps[len(ps)-1]), machine.SystemG(), ps, o.Seed+100)
+	fig, err := efficiencyScaling(o, ftFactory(o, ps[len(ps)-1]), machine.SystemG(), ps, o.Seed+100)
 	if err != nil {
 		return Figure{}, err
 	}
@@ -70,7 +90,7 @@ func Fig2b(o Options) (Figure, error) {
 	if o.Quick {
 		ps = []int{1, 2, 4, 8}
 	}
-	fig, err := efficiencyScaling(cgFactory(o), machine.SystemG(), ps, o.Seed+200)
+	fig, err := efficiencyScaling(o, cgFactory(o), machine.SystemG(), ps, o.Seed+200)
 	if err != nil {
 		return Figure{}, err
 	}

@@ -76,17 +76,25 @@ func Fig3(o Options) (Figure, error) {
 		isFactory(o),
 		mgFactory(o, 0),
 	}
+	// One validation per NPB code, each a pair of independent simulations
+	// with its own seeds — run them across the configured workers and
+	// render in suite order.
+	vals := make([]validation, len(factories))
+	if err := parEach(o, len(factories), func(i int) error {
+		v, err := validateKernel(factories[i], dori, p, o.Seed+300+int64(i)*17)
+		vals[i] = v
+		return err
+	}); err != nil {
+		return Figure{}, err
+	}
+
 	var body, csv strings.Builder
 	fmt.Fprintf(&body, "%6s %16s %16s %10s %10s %10s\n",
 		"bench", "measured", "predicted", "error", "EE meas", "EE pred")
 	csv.WriteString("bench,measured_j,predicted_j,rel_error,ee_meas,ee_pred\n")
 	var notes []string
 	var worst float64
-	for i, kf := range factories {
-		v, err := validateKernel(kf, dori, p, o.Seed+300+int64(i)*17)
-		if err != nil {
-			return Figure{}, err
-		}
+	for _, v := range vals {
 		fmt.Fprintf(&body, "%6s %16v %16v %9.2f%% %10.4f %10.4f\n",
 			v.Kernel, v.Measured, v.Predicted, v.Error*100, v.EEMeas, v.EEPred)
 		fmt.Fprintf(&csv, "%s,%g,%g,%g,%g,%g\n",
@@ -118,6 +126,47 @@ func Fig4(o Options) (Figure, error) {
 	maxP := ps[len(ps)-1]
 	factories := []kernelFactory{epFactory(o), ftFactory(o, maxP), cgFactory(o)}
 
+	// The (benchmark, p) grid is embarrassingly parallel: every cell is
+	// one or two independent simulations with cell-specific seeds.
+	// Flatten it, fan the cells across the workers, then render the rows
+	// in the original order.
+	errMat := make([][]float64, len(factories))
+	for i := range errMat {
+		errMat[i] = make([]float64, len(ps))
+	}
+	if err := parEach(o, len(factories)*len(ps), func(cell int) error {
+		i, pi := cell/len(ps), cell%len(ps)
+		kf, p := factories[i], ps[pi]
+		if p == 1 {
+			// Serial check: predict E1 from the sequential counters.
+			seq, err := kf.measured(sysG, 1, o.Seed+400+int64(i)*31)
+			if err != nil {
+				return err
+			}
+			mp, err := sysG.Base()
+			if err != nil {
+				return err
+			}
+			w := app.FromCounters(kf.alpha,
+				seq.Totals.OnChipOps, seq.Totals.OffChipAccesses,
+				seq.Totals.OnChipOps, seq.Totals.OffChipAccesses, 0, 0, 1)
+			pred, err := core.Model{Machine: mp, App: w}.Predict()
+			if err != nil {
+				return err
+			}
+			errMat[i][pi] = core.PredictionError(pred.E1, seq.Measured.Total)
+			return nil
+		}
+		v, err := validateKernel(kf, sysG, p, o.Seed+400+int64(i)*31+int64(p))
+		if err != nil {
+			return err
+		}
+		errMat[i][pi] = v.Error
+		return nil
+	}); err != nil {
+		return Figure{}, err
+	}
+
 	var body, csv strings.Builder
 	fmt.Fprintf(&body, "%6s %12s   per-p errors\n", "bench", "avg error")
 	csv.WriteString("bench,p,rel_error\n")
@@ -125,33 +174,8 @@ func Fig4(o Options) (Figure, error) {
 	for i, kf := range factories {
 		var sum float64
 		var detail []string
-		for _, p := range ps {
-			var relErr float64
-			if p == 1 {
-				// Serial check: predict E1 from the sequential counters.
-				seq, err := kf.measured(sysG, 1, o.Seed+400+int64(i)*31)
-				if err != nil {
-					return Figure{}, err
-				}
-				mp, err := sysG.Base()
-				if err != nil {
-					return Figure{}, err
-				}
-				w := app.FromCounters(kf.alpha,
-					seq.Totals.OnChipOps, seq.Totals.OffChipAccesses,
-					seq.Totals.OnChipOps, seq.Totals.OffChipAccesses, 0, 0, 1)
-				pred, err := core.Model{Machine: mp, App: w}.Predict()
-				if err != nil {
-					return Figure{}, err
-				}
-				relErr = core.PredictionError(pred.E1, seq.Measured.Total)
-			} else {
-				v, err := validateKernel(kf, sysG, p, o.Seed+400+int64(i)*31+int64(p))
-				if err != nil {
-					return Figure{}, err
-				}
-				relErr = v.Error
-			}
+		for pi, p := range ps {
+			relErr := errMat[i][pi]
 			sum += relErr
 			detail = append(detail, fmt.Sprintf("p%d:%.1f%%", p, relErr*100))
 			fmt.Fprintf(&csv, "%s,%d,%g\n", kf.name, p, relErr)

@@ -7,7 +7,11 @@ package figures
 
 import (
 	"fmt"
+	"reflect"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/machine"
@@ -17,6 +21,7 @@ import (
 	"repro/internal/npb/ft"
 	"repro/internal/npb/is"
 	"repro/internal/npb/mg"
+	"repro/internal/opcache"
 )
 
 // Options tunes figure generation.
@@ -27,6 +32,80 @@ type Options struct {
 	Quick bool
 	// Seed drives all simulated measurement noise.
 	Seed int64
+	// Workers bounds how many sweep points run concurrently; 0 means
+	// GOMAXPROCS, 1 forces the sequential reference order. Every sweep
+	// point owns an independent simulated cluster seeded per point, so
+	// the rendered figures are byte-identical at any worker count — the
+	// workers only change wall-clock time.
+	Workers int
+	// Cache optionally shares one operating-point cache across
+	// generators (cmd/figures threads one through the whole set). A
+	// generator whose machine differs from the cache's spec builds its
+	// own; nil always works.
+	Cache *opcache.Cache
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parEach runs fn(i) for every index in [0, n) across the configured
+// workers and returns the lowest-index error. Each index must be an
+// independent unit of work (its own cluster, kernel, and RNGs); callers
+// write results into preassigned slots and assemble output sequentially
+// afterwards, which is what keeps parallel figures byte-identical to
+// sequential ones.
+func parEach(o Options, n int, fn func(i int) error) error {
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// modelCache returns the shared evaluation cache when it was built for
+// exactly this machine (full spec equality — a cache from a same-named
+// but tweaked spec must not leak its predictions), otherwise a fresh
+// one for this generator.
+func modelCache(o Options, spec machine.Spec) (*opcache.Cache, error) {
+	if o.Cache != nil && reflect.DeepEqual(o.Cache.Spec(), spec) {
+		return o.Cache, nil
+	}
+	return opcache.New(spec)
 }
 
 // Figure is one regenerated experiment.

@@ -3,6 +3,9 @@ package figures
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/opcache"
 )
 
 // quick regenerates every figure with reduced sizes; the full-scale
@@ -25,6 +28,44 @@ func TestAllGeneratorsQuick(t *testing.T) {
 			}
 			if !strings.Contains(fig.String(), "Figure "+g.ID) {
 				t.Fatal("rendered header missing")
+			}
+		})
+	}
+}
+
+// Satellite determinism guard: figures generated with a parallel worker
+// pool must be byte-identical to the sequential reference — every sweep
+// point owns its cluster and seed, so worker count may only change
+// wall-clock time. A shared operating-point cache must not change bytes
+// either.
+func TestParallelFiguresByteIdentical(t *testing.T) {
+	for _, g := range All() {
+		g := g
+		t.Run("fig"+g.ID, func(t *testing.T) {
+			seq, err := g.Run(Options{Quick: true, Seed: 42, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := g.Run(Options{Quick: true, Seed: 42, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.CSV != seq.CSV {
+				t.Fatalf("parallel CSV differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq.CSV, par.CSV)
+			}
+			if par.Body != seq.Body {
+				t.Fatal("parallel figure body differs from sequential")
+			}
+			cache, err := opcache.New(machine.SystemG())
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared, err := g.Run(Options{Quick: true, Seed: 42, Workers: 8, Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shared.CSV != seq.CSV || shared.Body != seq.Body {
+				t.Fatal("shared-cache figure differs from sequential")
 			}
 		})
 	}

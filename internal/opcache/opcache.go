@@ -1,0 +1,311 @@
+// Package opcache memoizes iso-energy-efficiency model evaluations over
+// the joint operating-point grid of a machine: every (application vector,
+// problem size, parallelism, DVFS frequency) tuple maps to one predicted
+// Point and one conservative sustained power draw.
+//
+// The power-budget scheduler prices the same points over and over — the
+// admission search on every scheduling edge, the profile the governor
+// consults at every retune decision, the backfill shadow walk probing
+// hypothetical future cluster states, and the relaxed idle-cluster pass
+// all evaluate identical (vector, n, p, f) tuples. core.Model.Predict is
+// pure, so the second and later evaluations are wasted work; this cache
+// turns them into a map lookup. The figures package threads the same
+// cache through its model-surface sweeps so a sweep grid is priced once
+// no matter how many figures or workers read it.
+//
+// Keying: application vectors hold closures, which Go cannot compare, so
+// the caller supplies an identity token (`owner`) that is stable for the
+// lifetime of the vector — the scheduler uses the job ID, the analysis
+// sweeps use the vector name. Rows are evaluated lazily per (owner, n, p)
+// against the machine's whole DVFS ladder in one pass, which matches how
+// every consumer reads them (admission scans ladders, the governor walks
+// them). Invalidation is by owner: the scheduler forgets a job's rows
+// when the job leaves the system, which bounds the cache by the number of
+// in-flight jobs. Nothing else invalidates — machine specs are immutable
+// for the cache's lifetime.
+//
+// A Cache is safe for concurrent use; parallel figure workers share one.
+package opcache
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// Row is the cached evaluation of one (vector, n, p) against every
+// frequency of the machine's DVFS ladder. Slices are indexed by ladder
+// position and must not be mutated by callers.
+type Row struct {
+	// W is the concrete workload v.At(n, p).
+	W core.Workload
+	// Pred[i] is the model prediction at ladder frequency i.
+	Pred []core.Prediction
+	// Draw[i] is the conservative sustained whole-job power draw at
+	// ladder frequency i — the admission/governor envelope (see draw).
+	Draw []units.Watts
+}
+
+type rowKey struct {
+	n float64
+	p int
+}
+
+// pointKey addresses one lazily-priced operating point (PointAt).
+type pointKey struct {
+	n  float64
+	p  int
+	fi int
+}
+
+// Cache memoizes Rows for one machine specification.
+type Cache struct {
+	spec   machine.Spec
+	ladder []units.Hertz
+	params []machine.Params // per ladder index
+
+	mu     sync.Mutex
+	rows   map[any]map[rowKey]*Row
+	errs   map[any]map[rowKey]error
+	points map[any]map[pointKey]core.Prediction
+	hits   uint64
+	misses uint64
+}
+
+// New validates the spec and prepares a cache over its DVFS ladder.
+func New(spec machine.Spec) (*Cache, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		spec:   spec,
+		ladder: append([]units.Hertz(nil), spec.Frequencies...),
+		params: make([]machine.Params, len(spec.Frequencies)),
+		rows:   make(map[any]map[rowKey]*Row),
+		errs:   make(map[any]map[rowKey]error),
+		points: make(map[any]map[pointKey]core.Prediction),
+	}
+	for i, f := range c.ladder {
+		mp, err := spec.AtFrequency(f)
+		if err != nil {
+			return nil, err
+		}
+		c.params[i] = mp
+	}
+	return c, nil
+}
+
+// Spec returns the machine specification the cache evaluates against.
+func (c *Cache) Spec() machine.Spec { return c.spec }
+
+// Ladder returns the DVFS frequencies rows are indexed by (ascending, as
+// declared by the spec). Callers must not mutate it.
+func (c *Cache) Ladder() []units.Hertz { return c.ladder }
+
+// ParamsAt returns the machine vector at ladder index i.
+func (c *Cache) ParamsAt(i int) machine.Params { return c.params[i] }
+
+// LadderIndex maps a frequency to its ladder position, or -1.
+func (c *Cache) LadderIndex(f units.Hertz) int {
+	for i, g := range c.ladder {
+		if g == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// Row returns the cached evaluation of v at (n, p) for the given owner
+// identity, computing and memoizing it on first use. The error (a model
+// evaluation failure at any ladder point) is memoized too, so a
+// degenerate workload is priced exactly once.
+func (c *Cache) Row(owner any, v app.Vector, n float64, p int) (*Row, error) {
+	k := rowKey{n: n, p: p}
+	c.mu.Lock()
+	if r, ok := c.rows[owner][k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return r, nil
+	}
+	if err, ok := c.errs[owner][k]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Evaluate outside the lock: Predict is pure, and recomputing a row
+	// that raced is cheaper than serialising every parallel sweep worker
+	// behind one model evaluation.
+	r, err := c.evaluate(v, n, p)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		if c.errs[owner] == nil {
+			c.errs[owner] = make(map[rowKey]error)
+		}
+		c.errs[owner][k] = err
+		return nil, err
+	}
+	if prev, ok := c.rows[owner][k]; ok {
+		return prev, nil // a racing worker beat us; keep one canonical row
+	}
+	if c.rows[owner] == nil {
+		c.rows[owner] = make(map[rowKey]*Row)
+	}
+	c.rows[owner][k] = r
+	return r, nil
+}
+
+// Point returns one cached operating point: the prediction at ladder
+// index fIdx of the (owner, n, p) row.
+func (c *Cache) Point(owner any, v app.Vector, n float64, p, fIdx int) (core.Prediction, units.Watts, error) {
+	r, err := c.Row(owner, v, n, p)
+	if err != nil {
+		return core.Prediction{}, 0, err
+	}
+	if fIdx < 0 || fIdx >= len(r.Pred) {
+		return core.Prediction{}, 0, fmt.Errorf("opcache: ladder index %d outside [0,%d)", fIdx, len(r.Pred))
+	}
+	return r.Pred[fIdx], r.Draw[fIdx], nil
+}
+
+// PointAt prices one (n, p, ladder-index) point lazily: it is served
+// from an already-evaluated Row when one exists, and otherwise memoizes
+// just that single prediction — never the whole ladder. Sweeps that read
+// one frequency per cell (the fixed-f (p, n) surfaces) use this so the
+// cache cannot cost more Predict calls than direct evaluation would.
+// Errors are not memoized on this path; single-point consumers abort on
+// first failure.
+func (c *Cache) PointAt(owner any, v app.Vector, n float64, p, fIdx int) (core.Prediction, error) {
+	if fIdx < 0 || fIdx >= len(c.ladder) {
+		return core.Prediction{}, fmt.Errorf("opcache: ladder index %d outside [0,%d)", fIdx, len(c.ladder))
+	}
+	rk := rowKey{n: n, p: p}
+	pk := pointKey{n: n, p: p, fi: fIdx}
+	c.mu.Lock()
+	if r, ok := c.rows[owner][rk]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return r.Pred[fIdx], nil
+	}
+	if pr, ok := c.points[owner][pk]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return pr, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	pr, err := (core.Model{Machine: c.params[fIdx], App: v.At(n, p)}).Predict()
+	if err != nil {
+		return core.Prediction{}, fmt.Errorf("opcache: %s at n=%g p=%d f=%v: %w", v.Name, n, p, c.ladder[fIdx], err)
+	}
+	c.mu.Lock()
+	if c.points[owner] == nil {
+		c.points[owner] = make(map[pointKey]core.Prediction)
+	}
+	c.points[owner][pk] = pr
+	c.mu.Unlock()
+	return pr, nil
+}
+
+// Forget drops every row owned by the given identity — the scheduler
+// calls it when a job completes or is rejected so the cache stays
+// bounded by the jobs still in the system.
+func (c *Cache) Forget(owner any) {
+	c.mu.Lock()
+	delete(c.rows, owner)
+	delete(c.errs, owner)
+	delete(c.points, owner)
+	c.mu.Unlock()
+}
+
+// Stats reports cache hits and misses (rows served from memory vs
+// evaluated), for tests and performance reports.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Size returns the number of rows currently held (successful and failed
+// evaluations) — the quantity Forget keeps bounded.
+func (c *Cache) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, m := range c.rows {
+		n += len(m)
+	}
+	for _, m := range c.errs {
+		n += len(m)
+	}
+	for _, m := range c.points {
+		n += len(m)
+	}
+	return n
+}
+
+// evaluate prices one workload against the whole ladder.
+func (c *Cache) evaluate(v app.Vector, n float64, p int) (*Row, error) {
+	w := v.At(n, p)
+	r := &Row{
+		W:    w,
+		Pred: make([]core.Prediction, len(c.ladder)),
+		Draw: make([]units.Watts, len(c.ladder)),
+	}
+	for i := range c.ladder {
+		pr, err := (core.Model{Machine: c.params[i], App: w}).Predict()
+		if err != nil {
+			return nil, fmt.Errorf("opcache: %s at n=%g p=%d f=%v: %w", v.Name, n, p, c.ladder[i], err)
+		}
+		r.Pred[i] = pr
+		r.Draw[i] = units.Watts(float64(p) * float64(c.drawPerRank(w, i)))
+	}
+	return r, nil
+}
+
+// drawPerRank returns the conservative sustained power of one rank
+// executing workload w (already evaluated at the job's (n, p)) at ladder
+// index fi: the rank's idle power at that frequency plus the largest
+// active-delta draw any compute/memory utilisation mix the job can
+// exhibit produces.
+//
+// The active term is the paper's Eq. 8–9 read as an instantaneous rate:
+// during a compute slice of per-rank busy times (dc, dm), wall time is
+// α·(dc+dm), so the sustained active draw is
+//
+//	(dc·ΔPc + dm·ΔPm) / (α·(dc+dm)).
+//
+// dc depends on which frequency the in-flight slice was issued at, and a
+// governor retune mid-slice prices the old mix at the new ΔPc — so the
+// envelope evaluates dc at the ladder extremes as well as at fi and takes
+// the maximum. Admission and the governor both use this bound, which is
+// what lets the scheduler guarantee zero cap violations: the measured
+// draw of any sampling window is a convex mix of states this envelope
+// dominates. Communication and idle phases only dilute utilisation, so
+// they never exceed it.
+func (c *Cache) drawPerRank(w core.Workload, fi int) units.Watts {
+	mp := c.params[fi]
+	p := float64(w.P)
+	dm := (w.WOff + w.DWOff) / p * float64(mp.Tm)
+	active := 0.0
+	for _, g := range [3]int{0, fi, len(c.params) - 1} {
+		dc := (w.WOn + w.DWOn) / p * float64(c.params[g].Tc)
+		if dc+dm <= 0 {
+			continue
+		}
+		a := (dc*float64(mp.DeltaPc) + dm*float64(mp.DeltaPm)) / (w.Alpha * (dc + dm))
+		if a > active {
+			active = a
+		}
+	}
+	return mp.PsysIdle + units.Watts(active)
+}

@@ -1,0 +1,246 @@
+package opcache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func testCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := New(machine.SystemG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Cached rows must be bit-identical to direct model evaluation — the
+// cache is a pure memo, never an approximation.
+func TestRowMatchesDirectPredict(t *testing.T) {
+	c := testCache(t)
+	spec := machine.SystemG()
+	v := app.FT(20)
+	n := float64(1 << 18)
+	for _, p := range []int{1, 4, 16} {
+		row, err := c.Row("job", v, n, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range c.Ladder() {
+			mp, err := spec.AtFrequency(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := (core.Model{Machine: mp, App: v.At(n, p)}).Predict()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row.Pred[i] != want {
+				t.Fatalf("p=%d f=%v: cached %+v != direct %+v", p, f, row.Pred[i], want)
+			}
+		}
+	}
+}
+
+// The second read of a row is a hit returning the same pointer.
+func TestRowMemoized(t *testing.T) {
+	c := testCache(t)
+	v := app.EP()
+	a, err := c.Row(1, v, 1e7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Row(1, v, 1e7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second read evaluated a fresh row")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits %d misses, want 1/1", hits, misses)
+	}
+	// A different owner with identical numbers is a separate row: owner
+	// is the vector's identity, not an optimisation hint.
+	d, err := c.Row(2, v, 1e7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Fatal("rows must not leak across owners")
+	}
+}
+
+// Draw must reproduce the admission envelope: idle floor plus the
+// worst-case active mix, scaled by width, and weakly increasing in
+// frequency for a compute-bearing workload.
+func TestDrawEnvelope(t *testing.T) {
+	c := testCache(t)
+	row, err := c.Row("j", app.CG(11, 15), 75000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Ladder() {
+		idleFloor := float64(c.ParamsAt(i).PsysIdle) * 8
+		if float64(row.Draw[i]) <= idleFloor {
+			t.Fatalf("draw %v at ladder %d not above the idle floor %g", row.Draw[i], i, idleFloor)
+		}
+		if i > 0 && row.Draw[i] < row.Draw[i-1] {
+			t.Fatalf("draw decreases up the ladder: %v then %v", row.Draw[i-1], row.Draw[i])
+		}
+	}
+}
+
+// Forget drops an owner's rows (and only that owner's).
+func TestForget(t *testing.T) {
+	c := testCache(t)
+	if _, err := c.Row(1, app.EP(), 1e7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Row(2, app.EP(), 1e7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Size(); n != 2 {
+		t.Fatalf("size = %d, want 2", n)
+	}
+	c.Forget(1)
+	if n := c.Size(); n != 1 {
+		t.Fatalf("size after forget = %d, want 1", n)
+	}
+	if _, err := c.Row(1, app.EP(), 1e7, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, misses := c.Stats()
+	if misses != 3 {
+		t.Fatalf("forgotten row must re-evaluate: %d misses, want 3", misses)
+	}
+}
+
+// PointAt prices exactly one point per miss (never the whole ladder),
+// and serves from a full Row when one already exists.
+func TestPointAtLazy(t *testing.T) {
+	c := testCache(t)
+	v := app.FT(20)
+	pr, err := c.PointAt("o", v, 1<<18, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("stats = %d/%d, want 0 hits 1 miss", hits, misses)
+	}
+	if n := c.Size(); n != 1 {
+		t.Fatalf("size = %d after one point, want 1 (whole-ladder row would be wasteful)", n)
+	}
+	if again, err := c.PointAt("o", v, 1<<18, 4, 2); err != nil || again != pr {
+		t.Fatalf("second PointAt not a hit: %v %v", again, err)
+	}
+	// A full Row for the same (n, p) serves later PointAt reads.
+	row, err := c.Row("o2", v, 1<<18, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRow, err := c.PointAt("o2", v, 1<<18, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromRow != row.Pred[3] {
+		t.Fatal("PointAt did not serve from the existing row")
+	}
+	if pr != row.Pred[2] {
+		t.Fatal("lazy point disagrees with row evaluation")
+	}
+}
+
+// LadderIndex round-trips the spec's frequencies and rejects strangers.
+func TestLadderIndex(t *testing.T) {
+	c := testCache(t)
+	for i, f := range c.Ladder() {
+		if got := c.LadderIndex(f); got != i {
+			t.Fatalf("LadderIndex(%v) = %d, want %d", f, got, i)
+		}
+	}
+	if got := c.LadderIndex(1); got != -1 {
+		t.Fatalf("LadderIndex(1Hz) = %d, want -1", got)
+	}
+}
+
+// Concurrent readers of overlapping grids must agree on one canonical
+// row per key (run under -race in CI).
+func TestConcurrentReaders(t *testing.T) {
+	c := testCache(t)
+	v := app.FT(20)
+	var wg sync.WaitGroup
+	rows := make([]*Row, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				r, err := c.Row("shared", v, 1<<18, 4)
+				if err != nil {
+					panic(err)
+				}
+				rows[w] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < 8; w++ {
+		if rows[w] != rows[0] {
+			t.Fatal("concurrent readers saw different canonical rows")
+		}
+	}
+}
+
+// A model failure is memoized as an error and served from cache too.
+func TestErrorMemoized(t *testing.T) {
+	c := testCache(t)
+	// A vector whose workload evaluates to a degenerate (zero-work)
+	// prediction error: WOn = 0 everywhere.
+	bad := app.Vector{
+		Name:  "degenerate",
+		Alpha: 1,
+		WOn:   func(n float64, p int) float64 { return 0 },
+		WOff:  func(n float64, p int) float64 { return 0 },
+		DWOn:  func(n float64, p int) float64 { return 0 },
+		DWOff: func(n float64, p int) float64 { return 0 },
+		M:     func(n float64, p int) float64 { return 0 },
+		B:     func(n float64, p int) float64 { return 0 },
+	}
+	if _, err := c.Row("bad", bad, 1, 2); err == nil {
+		t.Skip("model accepts zero-work vectors; nothing to memoize")
+	}
+	_, missesBefore := c.Stats()
+	if _, err := c.Row("bad", bad, 1, 2); err == nil {
+		t.Fatal("second read must return the memoized error")
+	}
+	_, missesAfter := c.Stats()
+	if missesAfter != missesBefore {
+		t.Fatalf("error row re-evaluated: misses %d → %d", missesBefore, missesAfter)
+	}
+}
+
+// Benchmark the memoized read path — the lookup admission performs on
+// every scheduling edge.
+func BenchmarkRowHit(b *testing.B) {
+	c, err := New(machine.SystemG())
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := app.CG(11, 15)
+	if _, err := c.Row(0, v, 75000, 16); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Row(0, v, 75000, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,11 +7,15 @@
 // (Eq. 8–9): each component draws its idle power continuously plus its
 // active delta scaled by the component's utilisation in the window
 // (utilisation = busy time attributed in the window / window length).
-// Because the attribution is exact, the profile integrates to precisely
-// the cluster's measured energy — the property PowerPack's calibration
-// aims for. With overlap α < 1, utilisation can transiently exceed 1
-// (compressed wall time), mirroring how measured component power can
-// exceed nominal active power during dense phases.
+// Windows that span a DVFS retune are priced piecewise from the
+// cluster's energy banks — each segment at the operating point it
+// actually ran at — so rank turnover between jobs at different
+// frequencies cannot masquerade as a power spike (or a phantom cap
+// violation). Because the attribution is exact, the profile integrates
+// to precisely the cluster's measured energy — the property PowerPack's
+// calibration aims for. With overlap α < 1, utilisation can transiently
+// exceed 1 (compressed wall time), mirroring how measured component
+// power can exceed nominal active power during dense phases.
 package power
 
 import (
@@ -52,8 +56,19 @@ type Profiler struct {
 	prevT   units.Seconds
 	samples []Sample
 
+	// Per-rank baselines for the retune-correction path: cumulative
+	// piecewise-exact component energies and the rank's retune count at
+	// the previous sample (see record).
+	prevRetunes []int64
+	prevEnergy  []componentEnergy
+
 	onSample  func(Sample)
 	keepAlive func() bool
+}
+
+// componentEnergy is one rank's cumulative energy decomposition.
+type componentEnergy struct {
+	idle, cpu, mem, io units.Joules
 }
 
 // OnSample registers fn to run in kernel context immediately after each
@@ -89,8 +104,13 @@ func Attach(cl *cluster.Cluster, interval units.Seconds, noisy bool, ranks ...in
 	p := &Profiler{cl: cl, interval: interval, ranks: ranks, noisy: noisy}
 	p.prevT = cl.Kernel().Now()
 	p.prev = make([]cluster.ComponentBusy, len(ranks))
+	p.prevRetunes = make([]int64, len(ranks))
+	p.prevEnergy = make([]componentEnergy, len(ranks))
 	for i, r := range ranks {
 		p.prev[i] = cl.BusySnapshot(r)
+		p.prevRetunes[i] = cl.RetuneCount(r)
+		e := &p.prevEnergy[i]
+		e.idle, e.cpu, e.mem, e.io = cl.ComponentEnergyTotals(r)
 	}
 	cl.Kernel().After(interval, p.tick)
 	return p, nil
@@ -119,11 +139,46 @@ func (p *Profiler) record() {
 		d := busy.BusySince(p.prev[i])
 		p.prev[i] = busy
 
+		retunes := p.cl.RetuneCount(r)
+		idleE, cpuE, memE, ioE := p.cl.ComponentEnergyTotals(r)
+		win := componentEnergy{
+			idle: idleE - p.prevEnergy[i].idle,
+			cpu:  cpuE - p.prevEnergy[i].cpu,
+			mem:  memE - p.prevEnergy[i].mem,
+			io:   ioE - p.prevEnergy[i].io,
+		}
+		p.prevEnergy[i] = componentEnergy{idle: idleE, cpu: cpuE, mem: memE, io: ioE}
+
 		mp := p.cl.Params(r)
-		s.CPU += mp.PcIdle + units.Watts(float64(mp.DeltaPc)*float64(d.Compute)/float64(dt))
-		s.Memory += mp.PmIdle + units.Watts(float64(mp.DeltaPm)*float64(d.Memory)/float64(dt))
-		s.IO += mp.PioIdle + units.Watts(float64(mp.DeltaPio)*float64(d.IO)/float64(dt))
-		s.Other += mp.Pother
+		if retunes == p.prevRetunes[i] {
+			// Steady window: the rank kept one machine vector, so the
+			// classic utilisation formula is exact.
+			s.CPU += mp.PcIdle + units.Watts(float64(mp.DeltaPc)*float64(d.Compute)/float64(dt))
+			s.Memory += mp.PmIdle + units.Watts(float64(mp.DeltaPm)*float64(d.Memory)/float64(dt))
+			s.IO += mp.PioIdle + units.Watts(float64(mp.DeltaPio)*float64(d.IO)/float64(dt))
+			s.Other += mp.Pother
+		} else {
+			// The window spans ≥1 DVFS retune: pricing the whole window's
+			// busy time and idle power at window-end parameters would
+			// misread it (a rank handed from a low-frequency job to a
+			// high-frequency one mid-window looks hotter than anything
+			// that actually ran — phantom cap violations). The cluster's
+			// energy banks price each segment at its own vector, so the
+			// window's exact component energies over dt give the true
+			// average power. Idle is banked as one Psys-idle integral;
+			// split it across components in the window-end vector's
+			// proportions (the split is cosmetic, the total is exact).
+			p.prevRetunes[i] = retunes
+			idleRate := float64(win.idle) / float64(dt)
+			share := 1.0
+			if mp.PsysIdle > 0 {
+				share = idleRate / float64(mp.PsysIdle)
+			}
+			s.CPU += units.Watts(float64(mp.PcIdle)*share + float64(win.cpu)/float64(dt))
+			s.Memory += units.Watts(float64(mp.PmIdle)*share + float64(win.mem)/float64(dt))
+			s.IO += units.Watts(float64(mp.PioIdle)*share + float64(win.io)/float64(dt))
+			s.Other += units.Watts(float64(mp.Pother) * share)
+		}
 	}
 	p.prevT = now
 	if p.noisy {

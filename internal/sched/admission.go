@@ -2,7 +2,7 @@ package sched
 
 import (
 	"repro/internal/analysis"
-	"repro/internal/core"
+	"repro/internal/opcache"
 	"repro/internal/units"
 )
 
@@ -12,45 +12,11 @@ type Candidate struct {
 	analysis.Point
 	// Cost is the marginal sustained draw of starting the job: its rank
 	// set's worst-case draw minus the parked idle power those ranks
-	// were already burning.
+	// were already burning. The absolute draw envelope is computed (and
+	// memoized) by internal/opcache; see opcache's drawPerRank for the
+	// paper Eq. 8–9 derivation and why the bound guarantees zero cap
+	// violations.
 	Cost units.Watts
-}
-
-// drawPerRank returns the conservative sustained power of one rank
-// executing workload w (already evaluated at the job's (n, p)) at DVFS
-// frequency f: the rank's idle power at f plus the largest active-delta
-// draw any compute/memory utilisation mix the job can exhibit produces.
-//
-// The active term is the paper's Eq. 8–9 read as an instantaneous rate:
-// during a compute slice of per-rank busy times (dc, dm), wall time is
-// α·(dc+dm), so the sustained active draw is
-//
-//	(dc·ΔPc + dm·ΔPm) / (α·(dc+dm)).
-//
-// dc depends on which frequency the in-flight slice was issued at, and a
-// governor retune mid-slice prices the old mix at the new ΔPc — so the
-// envelope evaluates dc at the ladder extremes as well as at f and takes
-// the maximum. Admission and the governor both use this bound, which is
-// what lets the scheduler guarantee zero cap violations: the measured
-// draw of any sampling window is a convex mix of states this envelope
-// dominates. Communication and idle phases only dilute utilisation, so
-// they never exceed it.
-func (s *Scheduler) drawPerRank(w core.Workload, f units.Hertz) units.Watts {
-	mp := s.paramsAt[f]
-	p := float64(w.P)
-	dm := (w.WOff + w.DWOff) / p * float64(mp.Tm)
-	active := 0.0
-	for _, g := range [3]units.Hertz{s.ladder[0], f, s.ladder[len(s.ladder)-1]} {
-		dc := (w.WOn + w.DWOn) / p * float64(s.paramsAt[g].Tc)
-		if dc+dm <= 0 {
-			continue
-		}
-		a := (dc*float64(mp.DeltaPc) + dm*float64(mp.DeltaPm)) / (w.Alpha * (dc + dm))
-		if a > active {
-			active = a
-		}
-	}
-	return mp.PsysIdle + units.Watts(active)
 }
 
 // perfSlack returns the effective admission width-slack factor.
@@ -65,43 +31,42 @@ func (s *Scheduler) perfSlack() float64 {
 	}
 }
 
-// jobDraw returns the absolute sustained draw of a whole job at (w, f).
-func (s *Scheduler) jobDraw(w core.Workload, f units.Hertz) units.Watts {
-	return units.Watts(float64(w.P) * float64(s.drawPerRank(w, f)))
-}
-
-// marginalCost is jobDraw minus the parked idle power the job's ranks
-// already draw — the admission currency measured against headroom.
-func (s *Scheduler) marginalCost(w core.Workload, f units.Hertz) units.Watts {
-	m := s.jobDraw(w, f) - units.Watts(float64(w.P)*float64(s.idleMin))
+// marginalCost converts a cached absolute job draw (opcache.Row.Draw) to
+// the admission currency measured against headroom: the draw minus the
+// parked idle power the job's p ranks already burn.
+func (s *Scheduler) marginalCost(draw units.Watts, p int) units.Watts {
+	m := draw - units.Watts(float64(p)*float64(s.idleMin))
 	if m < 0 {
 		m = 0
 	}
 	return m
 }
 
-// candidateAt prices one explicit (p, f) point for a job.
+// candidateAt prices one explicit (p, f) point for a job — a single
+// op-cache lookup after the first evaluation.
 func (s *Scheduler) candidateAt(j Job, p int, f units.Hertz) (Candidate, bool) {
-	mp, ok := s.paramsAt[f]
-	if !ok {
+	fi := s.cache.LadderIndex(f)
+	if fi < 0 {
 		return Candidate{}, false
 	}
-	w := j.Vector.At(j.N, p)
-	pr, err := core.Model{Machine: mp, App: w}.Predict()
+	row, err := s.cache.Row(j.ID, j.Vector, j.N, p)
 	if err != nil {
 		return Candidate{}, false
 	}
 	return Candidate{
-		Point: analysis.Point{P: p, Freq: f, N: j.N, Prediction: pr},
-		Cost:  s.marginalCost(w, f),
+		Point: analysis.Point{P: p, Freq: f, N: j.N, Prediction: row.Pred[fi]},
+		Cost:  s.marginalCost(row.Draw[fi], p),
 	}, true
 }
 
 // bestCandidate searches the joint grid of the job's candidate widths ×
 // the DVFS ladder for the best point under the objective whose marginal
-// cost fits the power budget. The enumeration is
-// analysis.ForEachOperatingPoint — the same grid the offline optimiser
-// scans — so admission and offline analysis agree on the search space.
+// cost fits the power budget. The grid is the same (widths × ladder)
+// enumeration analysis.ForEachOperatingPoint scans offline, but served
+// from the op-cache: every (n, p) row is evaluated once per job lifetime
+// and every later scheduling edge — including the backfill shadow walk,
+// which re-prices the head at each hypothetical future state — is pure
+// lookups.
 //
 // Three rules shape the selection before the objective decides:
 //
@@ -139,38 +104,39 @@ func (s *Scheduler) bestCandidate(j Job, freeRanks int, budget units.Watts, obj 
 	if !ok {
 		return Candidate{}, false
 	}
-	var cands []Candidate
-	fastestByP := make(map[int]units.Seconds, len(ws))
-	err := analysis.ForEachOperatingPoint(s.cfg.Spec, j.Vector, j.N, ws, func(pt analysis.Point) {
-		if cur, ok := fastestByP[pt.P]; !ok || pt.Tp < cur {
-			fastestByP[pt.P] = pt.Tp
-		}
-		w := j.Vector.At(j.N, pt.P)
-		cost := s.marginalCost(w, pt.Freq)
-		if cost > budget {
-			return
-		}
-		cands = append(cands, Candidate{Point: pt, Cost: cost})
-	})
-	if err != nil || len(cands) == 0 {
-		return Candidate{}, false
-	}
 	maxTp := units.Seconds(float64(refTp) * s.perfSlack())
 	var best, bestDL Candidate
 	found, foundDL := false, false
-	for _, c := range cands {
-		if !relaxed && fastestByP[c.P] > maxTp {
+	for _, p := range ws {
+		row, err := s.cache.Row(j.ID, j.Vector, j.N, p)
+		if err != nil {
+			// Match the offline enumeration: a model failure anywhere in
+			// the grid voids the whole search rather than silently
+			// shrinking it.
+			return Candidate{}, false
+		}
+		if !relaxed && fastestTp(row) > maxTp {
 			continue
 		}
-		if !rsv.permits(j.ID, now, c) {
-			continue
-		}
-		if !found || obj.Better(c.Point, best.Point) {
-			best, found = c, true
-		}
-		if j.Deadline > 0 && now+c.Tp <= j.Arrival+j.Deadline {
-			if !foundDL || obj.Better(c.Point, bestDL.Point) {
-				bestDL, foundDL = c, true
+		for fi := range s.ladder {
+			cost := s.marginalCost(row.Draw[fi], p)
+			if cost > budget {
+				continue
+			}
+			c := Candidate{
+				Point: analysis.Point{P: p, Freq: s.ladder[fi], N: j.N, Prediction: row.Pred[fi]},
+				Cost:  cost,
+			}
+			if !rsv.permits(j.ID, now, c) {
+				continue
+			}
+			if !found || obj.Better(c.Point, best.Point) {
+				best, found = c, true
+			}
+			if j.Deadline > 0 && now+c.Tp <= j.Arrival+j.Deadline {
+				if !foundDL || obj.Better(c.Point, bestDL.Point) {
+					bestDL, foundDL = c, true
+				}
 			}
 		}
 	}
@@ -178,6 +144,17 @@ func (s *Scheduler) bestCandidate(j Job, freeRanks int, budget units.Watts, obj 
 		return bestDL, true
 	}
 	return best, found
+}
+
+// fastestTp returns a row's best runtime over the ladder.
+func fastestTp(row *opcache.Row) units.Seconds {
+	min := row.Pred[0].Tp
+	for _, pr := range row.Pred[1:] {
+		if pr.Tp < min {
+			min = pr.Tp
+		}
+	}
+	return min
 }
 
 // fullFastest returns (caching per job) the fastest runtime over the
@@ -188,13 +165,13 @@ func (s *Scheduler) fullFastest(j Job) map[int]units.Seconds {
 		return m
 	}
 	m := make(map[int]units.Seconds)
-	err := analysis.ForEachOperatingPoint(s.cfg.Spec, j.Vector, j.N, j.widths(s.cl.Ranks()), func(pt analysis.Point) {
-		if cur, ok := m[pt.P]; !ok || pt.Tp < cur {
-			m[pt.P] = pt.Tp
+	for _, p := range j.widths(s.cl.Ranks()) {
+		row, err := s.cache.Row(j.ID, j.Vector, j.N, p)
+		if err != nil {
+			m = nil
+			break
 		}
-	})
-	if err != nil {
-		m = nil
+		m[p] = fastestTp(row)
 	}
 	s.refFastest[j.ID] = m
 	return m
@@ -213,43 +190,20 @@ func (s *Scheduler) referenceTp(j Job) (units.Seconds, bool) {
 	return min, min > 0
 }
 
-// ladderProfile precomputes, for a job admitted at width p, the model EE
-// and absolute draw at every ladder frequency — the governor consults it
-// on every retune decision instead of re-running the model.
-type ladderProfile struct {
-	ee   []float64
-	ep   []units.Joules
-	draw []units.Watts
-	tp   []units.Seconds
-}
-
-func (s *Scheduler) profileLadder(j Job, p int) (ladderProfile, bool) {
-	lp := ladderProfile{
-		ee:   make([]float64, len(s.ladder)),
-		ep:   make([]units.Joules, len(s.ladder)),
-		draw: make([]units.Watts, len(s.ladder)),
-		tp:   make([]units.Seconds, len(s.ladder)),
+// profileLadder returns the job's cached ladder row at width p: model
+// EE/energy/runtime and the conservative draw at every ladder frequency.
+// The governor consults it on every retune decision; it is the same row
+// admission priced the job from, so control and admission can never
+// disagree about a job's operating points.
+func (s *Scheduler) profileLadder(j Job, p int) (*opcache.Row, bool) {
+	row, err := s.cache.Row(j.ID, j.Vector, j.N, p)
+	if err != nil {
+		return nil, false
 	}
-	w := j.Vector.At(j.N, p)
-	for i, f := range s.ladder {
-		pr, err := core.Model{Machine: s.paramsAt[f], App: w}.Predict()
-		if err != nil {
-			return ladderProfile{}, false
-		}
-		lp.ee[i] = pr.EE
-		lp.ep[i] = pr.Ep
-		lp.draw[i] = s.jobDraw(w, f)
-		lp.tp[i] = pr.Tp
-	}
-	return lp, true
+	return row, true
 }
 
 // ladderIndex maps a frequency to its position on the spec's ladder.
 func (s *Scheduler) ladderIndex(f units.Hertz) int {
-	for i, g := range s.ladder {
-		if g == f {
-			return i
-		}
-	}
-	return -1
+	return s.cache.LadderIndex(f)
 }

@@ -138,7 +138,7 @@ func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext
 			t:     s.predictedEnd(rj),
 			id:    rj.e.job.ID,
 			ranks: rj.width(),
-			watts: rj.prof.draw[rj.fIdx] - units.Watts(float64(rj.width())*float64(s.idleMin)),
+			watts: rj.prof.Draw[rj.fIdx] - units.Watts(float64(rj.width())*float64(s.idleMin)),
 		})
 	}
 	for _, adm := range ctx.admitted {

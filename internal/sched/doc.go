@@ -8,12 +8,15 @@
 //
 //   - An admission controller. When capacity frees up (job arrival or
 //     completion), the configured Policy picks which queued jobs start
-//     and at which (p, f) operating point, using the same joint-grid
-//     search the offline optimiser uses
-//     (analysis.ForEachOperatingPoint). Admission is conservative: a
-//     job's power cost is its sustained worst-case draw (envelope over
-//     the DVFS ladder, see admission.go), so the measured cluster draw
-//     can never exceed the cap between control actions.
+//     and at which (p, f) operating point, scanning the same joint grid
+//     the offline optimiser uses (analysis.ForEachOperatingPoint)
+//     served from a memoized operating-point cache (internal/opcache):
+//     every (vector, n, p, f) tuple is priced once per job lifetime and
+//     every later scheduling edge is a lookup. Admission is
+//     conservative: a job's power cost is its sustained worst-case draw
+//     (envelope over the DVFS ladder, computed in opcache), so the
+//     measured cluster draw can never exceed the cap between control
+//     actions.
 //
 //   - A runtime DVFS governor. A power.Profiler samples the simulated
 //     cluster on a fixed virtual-time grid; the governor subscribes to
@@ -24,12 +27,16 @@
 //     iso-energy-efficiency does not degrade. Frequency changes take
 //     effect mid-run through cluster.SetRankFrequency.
 //
-// Jobs execute as real discrete-event work on the shared cluster: each
-// assigned rank runs the job's per-rank workload share in slices through
-// cluster.ComputeAlpha, so per-component busy time, the power trace, and
-// the energy decomposition all come from the same substrate the NPB
-// kernels use, and a governor frequency change re-prices the remaining
-// slices automatically.
+// Jobs execute as real discrete-event work on the shared cluster, but
+// purely through timer callbacks on the kernel's channel-free fast path
+// (no goroutine per rank): each slice is a cluster.StartCompute/
+// StartComm registration retired by CompleteOp at its end event, so
+// per-component busy time, the power trace, and the energy
+// decomposition all come from the same substrate the NPB kernels use,
+// and a governor frequency change re-prices the remaining slices
+// automatically. Noise-free runs advance a whole job's rank set with
+// one event per phase; noisy runs drive one event chain per rank
+// (scheduler.go).
 //
 // Three shipped policies bracket the design space: FIFO at uniform base
 // frequency (the baseline every batch system implements), greedy EE-max

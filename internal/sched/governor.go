@@ -70,7 +70,7 @@ func (g *governor) throttle() {
 			if rj.fIdx == 0 {
 				continue
 			}
-			sv := rj.prof.draw[rj.fIdx] - rj.prof.draw[rj.fIdx-1]
+			sv := rj.prof.Draw[rj.fIdx] - rj.prof.Draw[rj.fIdx-1]
 			if victim == nil ||
 				rj.e.job.priority() < victim.e.job.priority() ||
 				(rj.e.job.priority() == victim.e.job.priority() &&
@@ -118,14 +118,14 @@ func (g *governor) boost() {
 			if next >= len(g.s.ladder) {
 				continue
 			}
-			eeGain := rj.prof.ee[next] > rj.prof.ee[rj.fIdx]+1e-12
+			eeGain := rj.prof.Pred[next].EE > rj.prof.Pred[rj.fIdx].EE+1e-12
 			// Strict improvement only: a flat ladder segment is not a
 			// gain, and retuning across one is pure churn.
-			epGain := float64(rj.prof.ep[next]) < float64(rj.prof.ep[rj.fIdx])*(1-epEpsilon)
+			epGain := float64(rj.prof.Pred[next].Ep) < float64(rj.prof.Pred[rj.fIdx].Ep)*(1-epEpsilon)
 			if !drain && !eeGain && !epGain {
 				continue
 			}
-			cost := rj.prof.draw[next] - rj.prof.draw[rj.fIdx]
+			cost := rj.prof.Draw[next] - rj.prof.Draw[rj.fIdx]
 			if cost > g.s.headroom() {
 				continue
 			}
@@ -176,7 +176,7 @@ func (g *governor) relinquish() {
 // completions (backfill's shadow clock) stay piecewise-exact.
 func (g *governor) retune(rj *runningJob, idx int) {
 	now := g.s.cl.Kernel().Now()
-	if tp := rj.prof.tp[rj.fIdx]; tp > 0 {
+	if tp := rj.prof.Pred[rj.fIdx].Tp; tp > 0 {
 		rj.progress += float64(now-rj.pricedAt) / float64(tp)
 		if rj.progress > 1 {
 			rj.progress = 1

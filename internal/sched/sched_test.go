@@ -7,7 +7,10 @@ import (
 	"testing"
 
 	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/opcache"
 	"repro/internal/units"
 )
 
@@ -150,6 +153,119 @@ func TestScheduleDeterministic(t *testing.T) {
 	a.Jobs, b.Jobs = nil, nil
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("fleet results differ between identical runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// compareResults asserts two schedules are identical field for field
+// (Jobs carry function-valued vectors, so their scalar records are
+// compared with the Job zeroed).
+func compareResults(t *testing.T, label string, a, b Result) {
+	t.Helper()
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		ja.Job, jb.Job = Job{}, Job{}
+		if !reflect.DeepEqual(ja, jb) {
+			t.Fatalf("%s: job %d differs:\n%+v\n%+v", label, i, ja, jb)
+		}
+	}
+	a.Jobs, b.Jobs = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: fleet results differ:\n%+v\n%+v", label, a, b)
+	}
+}
+
+// Tentpole equivalence: the lockstep batch (one kernel event advances a
+// whole job) and the per-rank event chains must produce bit-identical
+// noise-free schedules — the batch is an optimisation, never a semantic
+// change.
+func TestLockstepMatchesPerRankChains(t *testing.T) {
+	trace := SyntheticTrace(TraceConfig{Jobs: 24, Seed: 11, MaxWidth: 8})
+	run := func(force bool) Result {
+		s, err := New(Config{Spec: testSpec(), Ranks: 16, Cap: 900, Policy: Backfill(EEMax()), Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.forceRankChains = force
+		res, err := s.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	compareResults(t, "lockstep vs per-rank", run(false), run(true))
+}
+
+// Noisy execution takes the per-rank event path (jitter desynchronises
+// ranks); it must still replay bit for bit under one seed.
+func TestNoisyScheduleDeterministic(t *testing.T) {
+	trace := SyntheticTrace(TraceConfig{Jobs: 16, Seed: 7, MaxWidth: 8})
+	run := func() Result {
+		s, err := New(Config{
+			Spec: testSpec(), Ranks: 16, Cap: 900, Seed: 7,
+			Noise: cluster.DefaultNoise(), NoisyMeter: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.lockstep {
+			t.Fatal("noisy config must disable the lockstep batch")
+		}
+		res, err := s.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	compareResults(t, "noisy determinism", run(), run())
+}
+
+// Regression for the phantom cap violation the retune-aware meter fixed:
+// at a tight cap the backfilled 64-job trace hands ranks from a
+// low-frequency job to a high-frequency one mid-sampling-window; pricing
+// the whole window at window-end parameters used to report a violation
+// (peak 2042 W vs the 2000 W cap) even though no instant ever exceeded
+// the cap. The piecewise-exact meter must report zero.
+func TestTightCapBackfillNoPhantomViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 64-job trace")
+	}
+	s, err := New(Config{Spec: testSpec(), Ranks: 64, Cap: 2000, Policy: Backfill(EEMax()), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(SyntheticTrace(TraceConfig{Jobs: 64, Seed: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapViolations != 0 {
+		t.Fatalf("%d phantom cap violations (peak %v, cap %v)", res.CapViolations, res.PeakPower, res.Cap)
+	}
+	if float64(res.PeakPower) > float64(res.Cap)*(1+1e-9) {
+		t.Fatalf("measured peak %v exceeds cap %v", res.PeakPower, res.Cap)
+	}
+}
+
+// White-box: the op-cache actually absorbs repeated pricing — on a
+// contended trace the scheduling edges hit rows far more often than they
+// evaluate them, and completed jobs are forgotten so the cache does not
+// grow with trace length.
+func TestOpCacheAbsorbsRepricing(t *testing.T) {
+	s, err := New(Config{Spec: testSpec(), Ranks: 16, Cap: 900, Policy: Backfill(EEMax()), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(SyntheticTrace(TraceConfig{Jobs: 24, Seed: 3, MaxWidth: 8})); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := s.cache.Stats()
+	if misses == 0 {
+		t.Fatal("cache never evaluated a row")
+	}
+	if hits < 2*misses {
+		t.Fatalf("cache ineffective: %d hits vs %d misses", hits, misses)
+	}
+	if n := s.cache.Size(); n != 0 {
+		t.Fatalf("cache holds %d rows after every job left the system", n)
 	}
 }
 
@@ -432,17 +548,15 @@ func TestGovernorBoostFlatEnergyLadderNoChurn(t *testing.T) {
 	j := epJob(0, 2)
 	e := &entry{job: j, res: JobResult{Job: j, State: Running}}
 	n := len(s.ladder)
-	lp := ladderProfile{
-		ee:   make([]float64, n),
-		ep:   make([]units.Joules, n),
-		draw: make([]units.Watts, n),
-		tp:   make([]units.Seconds, n),
+	lp := &opcache.Row{
+		Pred: make([]core.Prediction, n),
+		Draw: make([]units.Watts, n),
 	}
 	for i := 0; i < n; i++ {
-		lp.ee[i] = 0.5 // flat EE…
-		lp.ep[i] = 100 // …and flat predicted energy
-		lp.draw[i] = units.Watts(50 + 10*i)
-		lp.tp[i] = 1
+		lp.Pred[i].EE = 0.5 // flat EE…
+		lp.Pred[i].Ep = 100 // …and flat predicted energy
+		lp.Pred[i].Tp = 1
+		lp.Draw[i] = units.Watts(50 + 10*i)
 	}
 	rj := &runningJob{e: e, ranks: []int{0, 1}, fIdx: 0, admIdx: 0, prof: lp}
 	s.running = []*runningJob{rj}

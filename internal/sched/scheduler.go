@@ -2,12 +2,11 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/machine"
+	"repro/internal/opcache"
 	"repro/internal/power"
-	"repro/internal/sim"
 	"repro/internal/units"
 )
 
@@ -44,19 +43,33 @@ type Config struct {
 
 // Scheduler executes job traces on a simulated power-capped cluster.
 // Create one per Run.
+//
+// Execution is purely event-driven: jobs advance through timer callbacks
+// on the simulation kernel's fast path (sim.Kernel.RunCallback), never
+// through per-rank goroutines — see runJob below for the execution model.
 type Scheduler struct {
 	cfg  Config
 	cl   *cluster.Cluster
 	prof *power.Profiler
 	gov  *governor
 
-	ladder   []units.Hertz
-	paramsAt map[units.Hertz]machine.Params
-	idleMin  units.Watts // parked (ladder-minimum) idle power per rank
+	// cache memoizes every model evaluation keyed (job ID, n, p, f):
+	// admission pricing, ladder profiles, the backfill shadow walk and
+	// the governor all read the same rows (internal/opcache).
+	cache   *opcache.Cache
+	ladder  []units.Hertz
+	idleMin units.Watts // parked (ladder-minimum) idle power per rank
 
-	freeRanks []int // sorted ascending; lowest ranks assigned first
-	owner     []*runningJob
-	meters    []rankMeter
+	// lockstep is set when execution noise is off: every rank of a job
+	// then has identical slice timing, so one kernel event advances the
+	// whole rank set (runJob). With noise, ranks desynchronise and each
+	// drives its own event chain (runRank).
+	lockstep bool
+
+	freeRanks   []int // sorted ascending; lowest ranks assigned first
+	rankScratch []int // reusable merge buffer for finish
+	owner       []*runningJob
+	meters      []rankMeter
 
 	entries    map[int]*entry
 	refFastest map[int]map[int]units.Seconds // job ID → width → fastest Tp
@@ -83,6 +96,10 @@ type Scheduler struct {
 
 	parkedEnergy units.Joules
 	ran          bool
+
+	// forceRankChains disables the lockstep batch for tests that verify
+	// the per-rank event chains produce identical noise-free schedules.
+	forceRankChains bool
 }
 
 type entry struct {
@@ -97,15 +114,22 @@ type runningJob struct {
 	fIdx   int // current ladder index
 	admIdx int // ladder index admitted at
 	eeIdx  int // ladder index maximising model EE at this width
-	prof   ladderProfile
+	prof   *opcache.Row
 
 	alpha     float64
 	sliceOn   float64
 	sliceOff  float64
 	sliceComm units.Seconds // per-rank per-slice network time, unscaled
 	slices    int
-	left      int // rank procs still executing
+	left      int // rank event chains still executing
 	energy    units.Joules
+
+	// Event-driven execution state: in lockstep mode slice/comm track
+	// the whole job's position; in per-rank mode rankState holds one
+	// cursor per rank.
+	slice     int  // next/current slice index
+	inComm    bool // current phase is the comm half of the slice
+	rankState []phaseCursor
 
 	// progress and pricedAt are the shadow-time bookkeeping backfill
 	// reservations rest on: progress is the model-predicted fraction of
@@ -113,6 +137,12 @@ type runningJob struct {
 	// remaining work is always priced at the current ladder point.
 	progress float64
 	pricedAt units.Seconds
+}
+
+// phaseCursor is one rank's position in its slice sequence.
+type phaseCursor struct {
+	slice  int
+	inComm bool
 }
 
 func (rj *runningJob) width() int { return len(rj.ranks) }
@@ -155,25 +185,23 @@ func New(cfg Config) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache, err := opcache.New(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
 
 	s := &Scheduler{
 		cfg:        cfg,
 		cl:         cl,
-		ladder:     append([]units.Hertz(nil), cfg.Spec.Frequencies...),
-		paramsAt:   make(map[units.Hertz]machine.Params, len(cfg.Spec.Frequencies)),
+		cache:      cache,
+		ladder:     cache.Ladder(),
+		lockstep:   cfg.Noise.ComputeJitter == 0 && cfg.Noise.MemoryJitter == 0,
 		owner:      make([]*runningJob, cfg.Ranks),
 		meters:     make([]rankMeter, cfg.Ranks),
 		entries:    make(map[int]*entry),
 		refFastest: make(map[int]map[int]units.Seconds),
 	}
-	for _, f := range s.ladder {
-		mp, err := cfg.Spec.AtFrequency(f)
-		if err != nil {
-			return nil, err
-		}
-		s.paramsAt[f] = mp
-	}
-	s.idleMin = s.paramsAt[s.ladder[0]].PsysIdle
+	s.idleMin = cache.ParamsAt(0).PsysIdle
 
 	floor := units.Watts(float64(cfg.Ranks) * float64(s.idleMin))
 	if cfg.Cap < floor {
@@ -185,6 +213,7 @@ func New(cfg Config) (*Scheduler, error) {
 	for i := range s.freeRanks {
 		s.freeRanks[i] = i
 	}
+	s.rankScratch = make([]int, 0, cfg.Ranks)
 	return s, nil
 }
 
@@ -195,7 +224,7 @@ func New(cfg Config) (*Scheduler, error) {
 func (s *Scheduler) predictedTotal() units.Watts {
 	total := units.Watts(float64(len(s.freeRanks)) * float64(s.idleMin))
 	for _, rj := range s.running {
-		total += rj.prof.draw[rj.fIdx]
+		total += rj.prof.Draw[rj.fIdx]
 	}
 	return total
 }
@@ -211,13 +240,13 @@ func (s *Scheduler) headroom() units.Watts { return s.cfg.Cap - s.predictedTotal
 func (s *Scheduler) predictedEndAt(rj *runningJob, idx int) units.Seconds {
 	now := s.cl.Kernel().Now()
 	frac := rj.progress
-	if tp := rj.prof.tp[rj.fIdx]; tp > 0 {
+	if tp := rj.prof.Pred[rj.fIdx].Tp; tp > 0 {
 		frac += float64(now-rj.pricedAt) / float64(tp)
 	}
 	if frac > 1 {
 		frac = 1
 	}
-	return now + units.Seconds((1-frac)*float64(rj.prof.tp[idx]))
+	return now + units.Seconds((1-frac)*float64(rj.prof.Pred[idx].Tp))
 }
 
 // predictedEnd is predictedEndAt at the job's current frequency.
@@ -274,7 +303,10 @@ func (s *Scheduler) Run(jobs []Job) (Result, error) {
 		e := e
 		k.Schedule(e.job.Arrival, func() { s.arrive(e) })
 	}
-	if err := k.Run(); err != nil {
+	// Nothing in the scheduler spawns a process: job slices are timer
+	// callbacks, so the whole trace runs on the kernel's channel-free
+	// fast path.
+	if err := k.RunCallback(); err != nil {
 		return Result{}, fmt.Errorf("sched: simulation failed: %w", err)
 	}
 
@@ -301,6 +333,7 @@ func (s *Scheduler) reject(e *entry, reason string) {
 	e.res.State = Rejected
 	e.res.Reason = reason
 	s.remaining--
+	s.cache.Forget(e.job.ID)
 }
 
 // tryAdmit asks the policy for admissions against the current cluster
@@ -365,7 +398,7 @@ func (s *Scheduler) admitPass(relaxed bool) int {
 }
 
 // start dispatches a job onto the lowest free ranks at the candidate
-// operating point and spawns its rank processes.
+// operating point and launches its event-driven execution.
 func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool) {
 	now := s.cl.Kernel().Now()
 	j := e.job
@@ -377,10 +410,12 @@ func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool) {
 	ranks := append([]int(nil), s.freeRanks[:cand.P]...)
 	s.freeRanks = s.freeRanks[cand.P:]
 
-	w := j.Vector.At(j.N, cand.P)
+	fi := s.ladderIndex(cand.Freq)
+	w := prof.W
+	mp := s.cache.ParamsAt(fi)
 	perOn := (w.WOn + w.DWOn) / float64(cand.P)
 	perOff := (w.WOff + w.DWOff) / float64(cand.P)
-	perComm := units.Seconds((w.M*float64(s.paramsAt[cand.Freq].Ts) + w.B*float64(s.paramsAt[cand.Freq].Tb)) / float64(cand.P))
+	perComm := units.Seconds((w.M*float64(mp.Ts) + w.B*float64(mp.Tb)) / float64(cand.P))
 
 	slices := int(float64(cand.Tp)/float64(s.cfg.Interval) + 0.5)
 	if slices < 4 {
@@ -391,16 +426,16 @@ func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool) {
 	}
 
 	eeIdx := 0
-	for i := range prof.ee {
-		if prof.ee[i] > prof.ee[eeIdx] {
+	for i := range prof.Pred {
+		if prof.Pred[i].EE > prof.Pred[eeIdx].EE {
 			eeIdx = i
 		}
 	}
 	rj := &runningJob{
 		e:         e,
 		ranks:     ranks,
-		fIdx:      s.ladderIndex(cand.Freq),
-		admIdx:    s.ladderIndex(cand.Freq),
+		fIdx:      fi,
+		admIdx:    fi,
 		eeIdx:     eeIdx,
 		prof:      prof,
 		alpha:     w.Alpha,
@@ -428,32 +463,90 @@ func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool) {
 	e.res.ModelEE = cand.EE
 	e.res.Backfilled = backfilled
 
-	for _, r := range ranks {
-		r := r
-		s.cl.Kernel().Spawn(fmt.Sprintf("job%d.r%d", j.ID, r), func(p *sim.Proc) {
-			s.runRank(rj, r, p)
-		})
-	}
-}
-
-// runRank executes one rank's share of a job, slice by slice. Each slice
-// reads the rank's current machine vector, so a governor retune between
-// slices re-prices the remaining work automatically.
-func (s *Scheduler) runRank(rj *runningJob, rank int, p *sim.Proc) {
-	for i := 0; i < rj.slices; i++ {
-		s.cl.ComputeAlpha(p, rank, rj.sliceOn, rj.sliceOff, rj.alpha)
-		if rj.sliceComm > 0 {
-			s.cl.CommAlpha(p, rank, rj.sliceComm, rj.alpha)
+	if s.lockstep && !s.forceRankChains {
+		s.runJob(rj)
+	} else {
+		rj.rankState = make([]phaseCursor, len(ranks))
+		for i := range ranks {
+			s.runRank(rj, i)
 		}
 	}
-	s.cl.NoteWall(p.Now())
-	rj.left--
-	if rj.left == 0 {
-		s.finish(rj)
-	}
 }
 
-// finish runs in the last rank process of a completed job: bank its
+// runJob advances a whole job one phase at a time with a single kernel
+// event per phase — the lockstep fast path. Without execution noise every
+// rank's slice has identical wall time, so the rank set stays
+// synchronised by construction and one timer replaces width×2 channel
+// handoffs per slice. Each phase reads the ranks' current machine
+// vectors, so a governor retune between phases re-prices the remaining
+// work automatically, exactly as the per-rank path does.
+func (s *Scheduler) runJob(rj *runningJob) {
+	var wall units.Seconds
+	if !rj.inComm {
+		for _, r := range rj.ranks {
+			wall = s.cl.StartCompute(r, rj.sliceOn, rj.sliceOff, rj.alpha)
+		}
+	} else {
+		for _, r := range rj.ranks {
+			wall = s.cl.StartComm(r, rj.sliceComm, rj.alpha)
+		}
+	}
+	s.cl.Kernel().After(wall, func() {
+		for _, r := range rj.ranks {
+			s.cl.CompleteOp(r)
+		}
+		if advancePhase(&rj.slice, &rj.inComm, rj.sliceComm, rj.slices) {
+			s.runJob(rj)
+			return
+		}
+		s.cl.NoteWall(s.cl.Kernel().Now())
+		rj.left = 0
+		s.finish(rj)
+	})
+}
+
+// runRank drives one rank's slice sequence through per-rank timer events
+// — the general path used when execution noise desynchronises ranks (and
+// by tests pinning the lockstep/per-rank equivalence). Jitter is drawn
+// when each operation starts, in rank order at every shared instant, so
+// runs stay deterministic for a fixed seed.
+func (s *Scheduler) runRank(rj *runningJob, i int) {
+	r := rj.ranks[i]
+	st := &rj.rankState[i]
+	var wall units.Seconds
+	if !st.inComm {
+		wall = s.cl.StartCompute(r, rj.sliceOn, rj.sliceOff, rj.alpha)
+	} else {
+		wall = s.cl.StartComm(r, rj.sliceComm, rj.alpha)
+	}
+	s.cl.Kernel().After(wall, func() {
+		s.cl.CompleteOp(r)
+		if advancePhase(&st.slice, &st.inComm, rj.sliceComm, rj.slices) {
+			s.runRank(rj, i)
+			return
+		}
+		s.cl.NoteWall(s.cl.Kernel().Now())
+		rj.left--
+		if rj.left == 0 {
+			s.finish(rj)
+		}
+	})
+}
+
+// advancePhase moves a slice cursor past the phase that just completed
+// and reports whether work remains: compute → comm (when the job has a
+// comm share) → next slice's compute.
+func advancePhase(slice *int, inComm *bool, sliceComm units.Seconds, slices int) bool {
+	if !*inComm && sliceComm > 0 {
+		*inComm = true
+		return true
+	}
+	*inComm = false
+	*slice++
+	return *slice < slices
+}
+
+// finish runs in the completion event of a job's last phase: bank its
 // energy, park its ranks, and give the policy the freed capacity.
 func (s *Scheduler) finish(rj *runningJob) {
 	now := s.cl.Kernel().Now()
@@ -464,8 +557,7 @@ func (s *Scheduler) finish(rj *runningJob) {
 		}
 		s.owner[r] = nil
 	}
-	s.freeRanks = append(s.freeRanks, rj.ranks...)
-	sort.Ints(s.freeRanks)
+	s.releaseRanks(rj.ranks)
 
 	for i, other := range s.running {
 		if other == rj {
@@ -480,6 +572,30 @@ func (s *Scheduler) finish(rj *runningJob) {
 	res.Energy = rj.energy
 	res.DeadlineMet = rj.e.job.Deadline <= 0 || now <= rj.e.job.Arrival+rj.e.job.Deadline
 	s.remaining--
+	s.cache.Forget(rj.e.job.ID)
 
 	s.tryAdmit()
+}
+
+// releaseRanks merges a finished job's rank set back into the free list.
+// Both lists are sorted ascending (rank sets are taken as prefixes of the
+// sorted free list), so a single two-pointer merge restores the invariant
+// in O(free+width) — finish used to re-sort the whole free list instead.
+func (s *Scheduler) releaseRanks(ranks []int) {
+	merged := s.rankScratch[:0]
+	i, j := 0, 0
+	for i < len(s.freeRanks) && j < len(ranks) {
+		if s.freeRanks[i] < ranks[j] {
+			merged = append(merged, s.freeRanks[i])
+			i++
+		} else {
+			merged = append(merged, ranks[j])
+			j++
+		}
+	}
+	merged = append(merged, s.freeRanks[i:]...)
+	merged = append(merged, ranks[j:]...)
+	// Swap buffers: the old free list becomes the next merge's scratch.
+	s.rankScratch = s.freeRanks[:0]
+	s.freeRanks = merged
 }

@@ -8,18 +8,29 @@
 // up to hundreds of ranks while keeping timing derived from the same
 // machine parameters (tc, tm, Ts, Tb) the analytical model uses.
 //
-// Concurrency model: every simulated process (Proc) runs in its own
-// goroutine, but exactly one goroutine — either the kernel loop or a
-// single process — executes at any moment. Control is handed off through
-// unbuffered channels, so execution is sequential and, for a fixed seed,
-// bit-for-bit deterministic. Processes block by parking; other processes
-// wake them by scheduling events. The kernel detects global deadlock
-// (parked processes with an empty event queue) and reports who was parked
-// and why.
+// Two execution styles share one event queue:
+//
+//   - Pure event-driven code schedules callbacks with Schedule/After and
+//     drains them with RunCallback: a tight single-goroutine loop over a
+//     value-typed 4-ary heap with no per-event allocation and no channel
+//     operations — the fast path the power-budget scheduler runs on.
+//   - Process-oriented code (Spawn) models blocking behaviour: every
+//     simulated process (Proc) runs in its own goroutine, but exactly one
+//     goroutine — either the kernel loop or a single process — executes
+//     at any moment. Control is handed off through unbuffered channels,
+//     so execution is sequential and, for a fixed seed, bit-for-bit
+//     deterministic. Processes block by parking; other processes wake
+//     them by scheduling events.
+//
+// The kernel detects global deadlock (parked processes with an empty
+// event queue) and reports who was parked and why. When Run returns with
+// unfinished processes — deadlock or Stop — their goroutines are drained
+// (terminated cleanly), so building clusters in a loop never accumulates
+// parked goroutines. A kernel is single-use: once Run or RunCallback
+// returns, create a new kernel rather than running it again.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -29,31 +40,80 @@ import (
 )
 
 // event is a scheduled callback. Events with equal time fire in schedule
-// (FIFO) order, which keeps runs deterministic.
+// (FIFO) order, which keeps runs deterministic. Events are held by value
+// in the kernel's heap slice: pushing reuses the slice's spare capacity
+// (the popped tail slots act as the free list), so steady-state
+// scheduling allocates nothing beyond the callback closure itself.
 type event struct {
 	t   units.Seconds
 	seq int64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// before orders events by time, then schedule order.
+func (e *event) before(o *event) bool {
+	if e.t != o.t {
+		return e.t < o.t
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// eventHeap is a 4-ary min-heap of events by (t, seq). A 4-ary layout
+// halves the tree depth of a binary heap, trading a few extra sibling
+// comparisons (cache-local: the four children are adjacent) for half the
+// swap chain on every pop — the dominant cost at the queue sizes the
+// cluster simulations reach.
+type eventHeap []event
+
+// push appends e and restores the heap property.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	// Sift up.
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s[i].before(&s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release the closure; the slot is reused by push
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s[c].before(&s[min]) {
+				min = c
+			}
+		}
+		if !s[min].before(&s[i]) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Kernel is a discrete-event simulator instance.
@@ -68,6 +128,7 @@ type Kernel struct {
 	live      int // procs spawned and not yet finished (incl. parked)
 	running   bool
 	stopped   bool
+	draining  bool // Run is terminating leftover process goroutines
 	procErr   error
 	rng       *rand.Rand
 	maxEvents int64 // safety valve against runaway simulations; 0 = unlimited
@@ -108,7 +169,7 @@ func (k *Kernel) Schedule(t units.Seconds, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, &event{t: t, seq: k.seq, fn: fn})
+	k.events.push(event{t: t, seq: k.seq, fn: fn})
 }
 
 // After registers fn to run d from now.
@@ -130,9 +191,28 @@ func (e *DeadlockError) Error() string {
 		e.Time, len(e.Parked), strings.Join(e.Parked, "; "))
 }
 
+// loop is the shared event pump: pop, advance the clock, fire.
+func (k *Kernel) loop() error {
+	for len(k.events) > 0 && !k.stopped {
+		k.nEvents++
+		if k.maxEvents > 0 && k.nEvents > k.maxEvents {
+			return fmt.Errorf("sim: event budget %d exhausted at t=%v (runaway simulation?)", k.maxEvents, k.now)
+		}
+		e := k.events.pop()
+		k.now = e.t
+		e.fn()
+		if k.procErr != nil {
+			return k.procErr
+		}
+	}
+	return nil
+}
+
 // Run processes events until none remain, a process panics, or Stop is
 // called. It returns a *DeadlockError if processes are still parked when
 // the event queue drains, and the recovered error if a process failed.
+// Whatever the outcome, every spawned process goroutine has terminated by
+// the time Run returns; the kernel must not be run again afterwards.
 func (k *Kernel) Run() error {
 	if k.running {
 		return fmt.Errorf("sim: kernel already running")
@@ -140,24 +220,18 @@ func (k *Kernel) Run() error {
 	k.running = true
 	defer func() { k.running = false }()
 
-	for len(k.events) > 0 && !k.stopped {
-		k.nEvents++
-		if k.maxEvents > 0 && k.nEvents > k.maxEvents {
-			return fmt.Errorf("sim: event budget %d exhausted at t=%v (runaway simulation?)", k.maxEvents, k.now)
-		}
-		e := heap.Pop(&k.events).(*event)
-		k.now = e.t
-		e.fn()
-		if k.procErr != nil {
-			return k.procErr
-		}
-	}
+	err := k.loop()
 
+	// Snapshot the deadlock report before draining clears the park flags.
 	var parked []string
 	for _, p := range k.procs {
 		if !p.done && p.parked {
 			parked = append(parked, fmt.Sprintf("%s: %s", p.name, p.reason))
 		}
+	}
+	k.drain()
+	if err != nil {
+		return err
 	}
 	if len(parked) > 0 {
 		sort.Strings(parked)
@@ -166,9 +240,67 @@ func (k *Kernel) Run() error {
 	return nil
 }
 
+// RunCallback is the pure event-driven fast path: it drains the queue on
+// the caller's goroutine with no handoff machinery, so simulations built
+// solely from Schedule/After callbacks (the power-budget scheduler, timer
+// wheels, samplers) never touch a channel. It falls back to Run when
+// processes have been spawned.
+func (k *Kernel) RunCallback() error {
+	if len(k.procs) > 0 {
+		return k.Run()
+	}
+	if k.running {
+		return fmt.Errorf("sim: kernel already running")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	err := k.loop()
+	if len(k.procs) == 0 {
+		return err
+	}
+	// A callback spawned processes mid-run. On error, drain their
+	// goroutines before surfacing it (the no-leak guarantee holds on
+	// every exit path); otherwise finish under full Run semantics
+	// (handoffs, deadlock detection, drain).
+	if err != nil {
+		k.drain()
+		return err
+	}
+	k.running = false
+	return k.Run()
+}
+
 // Stop makes Run return after the current event completes. Intended for
 // simulations with a natural cut-off (e.g. a fixed measurement window).
+// Processes still pending at that point are terminated before Run
+// returns; the kernel cannot be resumed.
 func (k *Kernel) Stop() { k.stopped = true }
+
+// abortSignal unwinds a process goroutine during drain. It is raised by
+// block when the kernel is draining and swallowed by the Spawn wrapper's
+// recover, so user code's defers still run.
+type abortSignal struct{}
+
+// drain terminates every unfinished process goroutine: each one is
+// resumed with the draining flag set, which makes its next block() — the
+// one it is currently inside — unwind via an abortSignal panic that the
+// Spawn wrapper recovers. Processes whose start event never fired return
+// before entering user code. Kernel context only, queue no longer
+// running.
+func (k *Kernel) drain() {
+	if k.live == 0 {
+		return
+	}
+	k.draining = true
+	for _, p := range k.procs {
+		if p.done {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+	k.draining = false
+}
 
 // Proc is a simulated process. All methods must be called from the
 // process's own goroutine (i.e. inside the function passed to Spawn),
@@ -209,7 +341,7 @@ func (k *Kernel) SpawnAt(t units.Seconds, name string, fn func(p *Proc)) *Proc {
 		<-p.resume // wait for the kernel to start us
 		defer func() {
 			if r := recover(); r != nil {
-				if k.procErr == nil {
+				if _, abort := r.(abortSignal); !abort && k.procErr == nil {
 					k.procErr = fmt.Errorf("sim: process %s panicked: %v", p.name, r)
 				}
 			}
@@ -217,6 +349,9 @@ func (k *Kernel) SpawnAt(t units.Seconds, name string, fn func(p *Proc)) *Proc {
 			k.live--
 			k.yield <- struct{}{}
 		}()
+		if k.draining {
+			return // drained before our start event fired
+		}
 		fn(p)
 	}()
 	k.Schedule(t, func() { k.handoff(p) })
@@ -234,9 +369,21 @@ func (k *Kernel) handoff(p *Proc) {
 }
 
 // block suspends the calling process and returns control to the kernel.
+// If the kernel is draining when control comes back, the goroutine
+// unwinds instead of resuming user code. The entry check covers process
+// defers that block again (Sleep/Park inside a defer) while their
+// goroutine is being drained: without it the defer's yield would be
+// consumed by drain as if the process had finished and the goroutine
+// would park forever.
 func (p *Proc) block() {
+	if p.k.draining {
+		panic(abortSignal{})
+	}
 	p.k.yield <- struct{}{}
 	<-p.resume
+	if p.k.draining {
+		panic(abortSignal{})
+	}
 }
 
 // Sleep advances the process's local time by d: the process is suspended

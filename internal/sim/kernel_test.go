@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/units"
 )
@@ -300,6 +302,219 @@ func TestResourceReservationProperty(t *testing.T) {
 		return diff < 1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// goroutineCount samples runtime.NumGoroutine with settling retries, so
+// the leak checks below don't flake on goroutines still unwinding.
+func goroutineCount() int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		time.Sleep(time.Millisecond)
+		m := runtime.NumGoroutine()
+		if m >= n {
+			return m
+		}
+		n = m
+	}
+	return n
+}
+
+// Satellite regression: Run must terminate the goroutines of parked
+// processes when it returns via deadlock — before the drain fix, every
+// deadlocked run leaked one goroutine per parked process and repeated
+// cluster construction in benchmarks accumulated them.
+func TestRunDrainsDeadlockedGoroutines(t *testing.T) {
+	before := goroutineCount()
+	for i := 0; i < 20; i++ {
+		k := NewKernel(int64(i))
+		k.Spawn("stuck-a", func(p *Proc) { p.Park("waiting forever") })
+		k.Spawn("stuck-b", func(p *Proc) { p.Park("also waiting") })
+		var dl *DeadlockError
+		if err := k.Run(); !errors.As(err, &dl) {
+			t.Fatalf("want DeadlockError, got %v", err)
+		}
+		if n := k.LiveProcs(); n != 0 {
+			t.Fatalf("LiveProcs = %d after Run, want 0", n)
+		}
+	}
+	if after := goroutineCount(); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after 20 deadlocked runs", before, after)
+	}
+}
+
+// Run via Stop() must likewise drain sleeping processes and processes
+// whose start event never fired.
+func TestRunDrainsStoppedGoroutines(t *testing.T) {
+	before := goroutineCount()
+	for i := 0; i < 20; i++ {
+		k := NewKernel(int64(i))
+		k.Spawn("sleeper", func(p *Proc) { p.Sleep(1000) })
+		k.SpawnAt(500, "late", func(p *Proc) { p.Sleep(1) })
+		k.Schedule(1, k.Stop)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if n := k.LiveProcs(); n != 0 {
+			t.Fatalf("LiveProcs = %d after stopped Run, want 0", n)
+		}
+	}
+	if after := goroutineCount(); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after 20 stopped runs", before, after)
+	}
+}
+
+// Draining unwinds via panic so user defers still run — cleanup written
+// by process code must execute even when the simulation deadlocks.
+func TestDrainRunsProcessDefers(t *testing.T) {
+	k := NewKernel(1)
+	cleaned := false
+	k.Spawn("careful", func(p *Proc) {
+		defer func() { cleaned = true }()
+		p.Park("never woken")
+	})
+	var dl *DeadlockError
+	if err := k.Run(); !errors.As(err, &dl) {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	if !cleaned {
+		t.Fatal("process defer did not run during drain")
+	}
+}
+
+// A process defer that blocks again (Sleep/Park inside a defer) while
+// its goroutine is being drained must unwind immediately, not desync the
+// drain handshake.
+func TestDrainSurvivesBlockingDefers(t *testing.T) {
+	before := goroutineCount()
+	for i := 0; i < 10; i++ {
+		k := NewKernel(int64(i))
+		k.Spawn("nested", func(p *Proc) {
+			defer p.Sleep(1) // blocks during the abort unwind
+			p.Park("never woken")
+		})
+		var dl *DeadlockError
+		if err := k.Run(); !errors.As(err, &dl) {
+			t.Fatalf("want DeadlockError, got %v", err)
+		}
+		if n := k.LiveProcs(); n != 0 {
+			t.Fatalf("LiveProcs = %d after drain with blocking defer, want 0", n)
+		}
+	}
+	if after := goroutineCount(); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// RunCallback must drain mid-run-spawned processes on its error path
+// too: a proc panic (or budget trip) with another proc parked must not
+// leak the parked goroutine.
+func TestRunCallbackErrorPathDrains(t *testing.T) {
+	before := goroutineCount()
+	for i := 0; i < 10; i++ {
+		k := NewKernel(int64(i))
+		k.Schedule(1, func() {
+			k.Spawn("parked", func(p *Proc) { p.Park("waiting forever") })
+			k.Spawn("bomb", func(p *Proc) {
+				p.Sleep(1)
+				panic("boom")
+			})
+		})
+		err := k.RunCallback()
+		if err == nil || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("want propagated panic, got %v", err)
+		}
+		if n := k.LiveProcs(); n != 0 {
+			t.Fatalf("LiveProcs = %d after error-path RunCallback, want 0", n)
+		}
+	}
+	if after := goroutineCount(); after > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+// RunCallback drains pure event-driven simulations and preserves event
+// ordering, Stop, and the event budget exactly like Run.
+func TestRunCallback(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.Schedule(units.Seconds(100-i), func() { order = append(order, i) })
+	}
+	if err := k.RunCallback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 100 {
+		t.Fatalf("fired %d events, want 100", len(order))
+	}
+	for j := 1; j < len(order); j++ {
+		if order[j] > order[j-1] {
+			t.Fatalf("events out of time order: %v", order[:j+1])
+		}
+	}
+
+	k2 := NewKernel(1)
+	k2.SetMaxEvents(5)
+	var loop func()
+	loop = func() { k2.After(1, loop) }
+	k2.After(1, loop)
+	if err := k2.RunCallback(); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("want event-budget error, got %v", err)
+	}
+}
+
+// RunCallback falls back to full process semantics when a callback
+// spawns processes mid-run.
+func TestRunCallbackSpawnFallback(t *testing.T) {
+	k := NewKernel(1)
+	var woke units.Seconds
+	k.Schedule(1, func() {
+		k.Spawn("late-proc", func(p *Proc) {
+			p.Sleep(2)
+			woke = p.Now()
+		})
+	})
+	if err := k.RunCallback(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 3 {
+		t.Fatalf("process woke at %v, want 3", woke)
+	}
+}
+
+// Heap property: an adversarial mix of push times drains in
+// nondecreasing (t, seq) order. Guards the hand-rolled 4-ary sift code.
+func TestEventHeapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel(seed)
+		var fired []units.Seconds
+		n := 200
+		var schedule func()
+		schedule = func() {
+			// Half the events schedule more events while running.
+			if n > 0 && rng.Float64() < 0.5 {
+				n--
+				k.After(units.Seconds(rng.Float64()*3), schedule)
+			}
+			fired = append(fired, k.Now())
+		}
+		for i := 0; i < 50; i++ {
+			k.Schedule(units.Seconds(rng.Float64()*10), schedule)
+		}
+		if err := k.RunCallback(); err != nil {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
 }
