@@ -370,11 +370,11 @@ func BenchmarkSchedule(b *testing.B) {
 				var res sched.Result
 				for i := 0; i < b.N; i++ {
 					s, err := sched.New(sched.Config{
-						Spec:   machine.SystemG(),
-						Ranks:  64,
-						Cap:    cap,
-						Policy: mk.pol(),
-						Seed:   1,
+						Platform: machine.Homogeneous(machine.SystemG()),
+						Ranks:    64,
+						Cap:      cap,
+						Policy:   mk.pol(),
+						Seed:     1,
 					})
 					if err != nil {
 						b.Fatal(err)

@@ -71,7 +71,7 @@ func main() {
 			fmt.Printf("  p=%4d  n ≥ %.4g\n", pp, fn[pp])
 		}
 	case *budget > 0:
-		op, err := analysis.OptimizeUnderPowerBudget(spec, vector, *n, ps, units.Watts(*budget))
+		op, err := analysis.OptimizeUnderPowerBudget(machine.Homogeneous(spec), vector, *n, ps, units.Watts(*budget))
 		exitOn(err)
 		fmt.Printf("best operating point under %.0f W for %s at n=%g:\n", *budget, vector.Name, *n)
 		fmt.Printf("  p=%d f=%v: Tp=%v Ep=%v EE=%.4f avg power=%v\n",

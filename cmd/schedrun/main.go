@@ -19,9 +19,16 @@
 // traces accumulate enough samples (the comparison table reports the
 // last repetition; repetitions are independent and identical).
 //
+// The -cluster flag accepts either a bare preset ("systemg", "dori") or
+// a mixed pool list ("systemg:32,dori:32") building a heterogeneous
+// platform: each pool keeps its own machine vector and DVFS ladder, and
+// the policies place every job entirely within one pool (ee-max picks
+// the EE-best pool, fifo the lowest-ranked pool that fits).
+//
 // Usage:
 //
-//	schedrun -jobs 64 -cap 2500 [-ranks 64] [-policy all] [-backfill] [-detail]
+//	schedrun -jobs 64 -cap 2500 [-ranks 64] [-cluster systemg:32,dori:32]
+//	         [-policy all] [-backfill] [-detail] [-edge]
 //	         [-repeat N] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -42,12 +49,13 @@ import (
 func main() {
 	jobs := flag.Int("jobs", 64, "number of jobs in the synthetic trace")
 	cap := flag.Float64("cap", 2500, "cluster power cap in watts")
-	ranks := flag.Int("ranks", 64, "cluster size in ranks")
-	clusterName := flag.String("cluster", "systemg", "cluster preset: systemg, dori")
+	ranks := flag.Int("ranks", 64, "cluster size in ranks (ignored when -cluster lists explicit pool sizes)")
+	clusterName := flag.String("cluster", "systemg", "platform: a preset (systemg, dori) or mixed pools like systemg:32,dori:32")
 	policy := flag.String("policy", "all", "policy to run: fifo, ee-max, fair-share, backfill+<name>, or all")
 	backfill := flag.Bool("backfill", false, "wrap every selected policy in EASY backfill reservations")
 	seed := flag.Int64("seed", 1, "trace and simulation seed")
-	interval := flag.Float64("interval", 0, "governor sampling interval in seconds (0 = 25ms)")
+	interval := flag.Float64("interval", 0, "governor sampling interval in seconds (0 = the 25ms default; negative is rejected)")
+	edge := flag.Bool("edge", false, "retune on admission/completion edges in addition to the sampling grid")
 	detail := flag.Bool("detail", false, "print per-job tables")
 	repeat := flag.Int("repeat", 1, "run each policy's schedule N times (profiling workload)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the schedule runs to this file")
@@ -56,11 +64,30 @@ func main() {
 	if *repeat < 1 {
 		*repeat = 1
 	}
-
-	spec, ok := machine.Presets()[strings.ToLower(*clusterName)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown cluster %q\n", *clusterName)
+	if *interval < 0 {
+		fmt.Fprintf(os.Stderr, "-interval %g is negative; pass 0 for the 25 ms default or a positive period\n", *interval)
 		os.Exit(2)
+	}
+
+	platform, err := machine.ParsePlatform(*clusterName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// A multi-pool platform defines the cluster exactly (every pool's
+	// node count); the -ranks default only sizes a bare single preset,
+	// whose full node count is far larger than a useful demo cluster.
+	// Truncating a mixed platform to a rank prefix would silently strip
+	// the later pools, so -ranks and multi-pool are mutually exclusive.
+	clusterRanks := *ranks
+	if len(platform.Pools) > 1 {
+		ranksSet := false
+		flag.Visit(func(f *flag.Flag) { ranksSet = ranksSet || f.Name == "ranks" })
+		if ranksSet {
+			fmt.Fprintf(os.Stderr, "-ranks cannot resize a multi-pool platform; size each pool instead, e.g. -cluster systemg:32,dori:32\n")
+			os.Exit(2)
+		}
+		clusterRanks = 0 // whole platform
 	}
 
 	var policies []sched.Policy
@@ -97,8 +124,12 @@ func main() {
 
 	trace := sched.SyntheticTrace(sched.TraceConfig{Jobs: *jobs, Seed: *seed})
 
+	shownRanks := clusterRanks
+	if shownRanks == 0 {
+		shownRanks = platform.TotalRanks()
+	}
 	fmt.Printf("trace: %d jobs on %s/%d ranks under a %.0f W cap (seed %d)\n\n",
-		*jobs, spec.Name, *ranks, *cap, *seed)
+		*jobs, platform, shownRanks, *cap, *seed)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -113,12 +144,13 @@ func main() {
 		var res sched.Result
 		for r := 0; r < *repeat; r++ {
 			s, err := sched.New(sched.Config{
-				Spec:     spec,
-				Ranks:    *ranks,
-				Cap:      units.Watts(*cap),
-				Policy:   pol,
-				Interval: units.Seconds(*interval),
-				Seed:     *seed,
+				Platform:   platform,
+				Ranks:      clusterRanks,
+				Cap:        units.Watts(*cap),
+				Policy:     pol,
+				Interval:   units.Seconds(*interval),
+				EdgeRetune: *edge,
+				Seed:       *seed,
 			})
 			exitOn(err)
 			res, err = s.Run(trace)

@@ -55,7 +55,7 @@ func main() {
 	fmt.Println("\nbest (p, f) under a power budget, CG at n=75000:")
 	for _, budget := range []units.Watts{300, 800, 2000, 5000} {
 		op, err := analysis.OptimizeUnderPowerBudget(
-			spec, app.CG(11, 15), 75000, []int{1, 2, 4, 8, 16, 32, 64}, budget)
+			machine.Homogeneous(spec), app.CG(11, 15), 75000, []int{1, 2, 4, 8, 16, 32, 64}, budget)
 		if err != nil {
 			fmt.Printf("  %6v: infeasible\n", budget)
 			continue

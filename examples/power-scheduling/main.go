@@ -43,11 +43,11 @@ func main() {
 		sched.Backfill(sched.EEMax()),
 	} {
 		s, err := sched.New(sched.Config{
-			Spec:   spec,
-			Ranks:  ranks,
-			Cap:    cap,
-			Policy: pol,
-			Seed:   42,
+			Platform: machine.Homogeneous(spec),
+			Ranks:    ranks,
+			Cap:      cap,
+			Policy:   pol,
+			Seed:     42,
 		})
 		if err != nil {
 			log.Fatal(err)

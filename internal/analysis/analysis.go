@@ -24,6 +24,9 @@ import (
 
 // Point is one evaluated model operating point.
 type Point struct {
+	// Pool names the platform node pool the point was priced against;
+	// empty for single-Spec evaluations (the surface sweeps).
+	Pool string
 	P    int
 	Freq units.Hertz
 	N    float64
@@ -335,53 +338,75 @@ func DefaultParallelisms(spec machine.Spec) []int {
 	return ps
 }
 
-// ForEachOperatingPoint evaluates the model over the joint grid of the
-// given parallelism list × the spec's full DVFS ladder, invoking visit on
-// every point. It is the single enumeration shared by the offline
+// poolParallelisms is the per-pool default sweep: powers of two up to
+// the pool's deployed core count.
+func poolParallelisms(np machine.NodePool) []int {
+	var ps []int
+	for p := 1; p <= np.MaxRanks(); p *= 2 {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// ForEachOperatingPoint evaluates the model over the per-pool grids of a
+// platform: for every node pool, the given parallelism list × that
+// pool's full DVFS ladder, invoking visit on every point (Point.Pool
+// names the pool). It is the single enumeration shared by the offline
 // optimiser below and the sched package's admission controller, so both
-// layers agree on which operating points exist. Entries of ps outside
-// [1, spec.MaxRanks()] are skipped; a nil ps means DefaultParallelisms.
-func ForEachOperatingPoint(spec machine.Spec, v app.Vector, n float64, ps []int, visit func(Point)) error {
-	if ps == nil {
-		ps = DefaultParallelisms(spec)
+// layers agree on which operating points exist — a job runs entirely
+// within one pool, which is why the grid is per pool rather than joint.
+// Entries of ps outside [1, pool.MaxRanks()] are skipped per pool; a nil
+// ps means powers of two up to each pool's deployed core count. Use
+// machine.Homogeneous(spec) for the classic single-Spec sweep.
+func ForEachOperatingPoint(pl machine.Platform, v app.Vector, n float64, ps []int, visit func(Point)) error {
+	if err := pl.Validate(); err != nil {
+		return err
 	}
 	seen := false
-	for _, p := range ps {
-		if p < 1 || p > spec.MaxRanks() {
-			continue
+	for _, np := range pl.Pools {
+		spec := np.Spec
+		pps := ps
+		if pps == nil {
+			pps = poolParallelisms(np)
 		}
-		seen = true
-		for _, f := range spec.Frequencies {
-			mp, err := spec.AtFrequency(f)
-			if err != nil {
-				return err
+		for _, p := range pps {
+			if p < 1 || p > np.MaxRanks() {
+				continue
 			}
-			pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
-			if err != nil {
-				return fmt.Errorf("analysis: %s at p=%d f=%v: %w", v.Name, p, f, err)
+			seen = true
+			for _, f := range spec.Frequencies {
+				mp, err := spec.AtFrequency(f)
+				if err != nil {
+					return err
+				}
+				pr, err := core.Model{Machine: mp, App: v.At(n, p)}.Predict()
+				if err != nil {
+					return fmt.Errorf("analysis: %s at pool %s p=%d f=%v: %w", v.Name, np.PoolName(), p, f, err)
+				}
+				visit(Point{Pool: np.PoolName(), P: p, Freq: f, N: n, Prediction: pr})
 			}
-			visit(Point{P: p, Freq: f, N: n, Prediction: pr})
 		}
 	}
 	if !seen {
-		return fmt.Errorf("analysis: no valid parallelism in %v (cluster holds %d ranks)", ps, spec.MaxRanks())
+		return fmt.Errorf("analysis: no valid parallelism in %v (no pool of %s holds them)", ps, pl)
 	}
 	return nil
 }
 
-// OptimizeUnderPowerBudgetBy searches the joint (p, f) grid — every
-// parallelism in ps against the spec's whole DVFS ladder — and returns
-// the operating point optimising the objective among those whose average
-// system power stays within budget. Parallelisms beyond the cluster size
-// are skipped rather than recommended, and ties break deterministically
-// (see Objective.Better). A nil ps sweeps powers of two up to the
-// cluster size.
-func OptimizeUnderPowerBudgetBy(spec machine.Spec, v app.Vector, n float64, ps []int, budget units.Watts, obj Objective) (OperatingPoint, error) {
+// OptimizeUnderPowerBudgetBy searches the platform's per-pool (p, f)
+// grids — every parallelism in ps against each pool's whole DVFS ladder
+// — and returns the operating point optimising the objective among those
+// whose average system power stays within budget. Parallelisms beyond a
+// pool's size are skipped for that pool rather than recommended, and
+// ties break deterministically (see Objective.Better; equal points from
+// different pools keep the earlier pool). A nil ps sweeps powers of two
+// up to each pool's size.
+func OptimizeUnderPowerBudgetBy(pl machine.Platform, v app.Vector, n float64, ps []int, budget units.Watts, obj Objective) (OperatingPoint, error) {
 	if budget <= 0 {
 		return OperatingPoint{}, fmt.Errorf("analysis: power budget %v must be positive", budget)
 	}
 	best := OperatingPoint{}
-	err := ForEachOperatingPoint(spec, v, n, ps, func(pt Point) {
+	err := ForEachOperatingPoint(pl, v, n, ps, func(pt Point) {
 		if pt.AvgPower > budget {
 			return
 		}
@@ -401,8 +426,8 @@ func OptimizeUnderPowerBudgetBy(spec machine.Spec, v app.Vector, n float64, ps [
 // OptimizeUnderPowerBudget is OptimizeUnderPowerBudgetBy with the
 // MinTime objective — "power-constrained parallel computation" made
 // concrete: the fastest operating point that respects the budget.
-func OptimizeUnderPowerBudget(spec machine.Spec, v app.Vector, n float64, ps []int, budget units.Watts) (OperatingPoint, error) {
-	return OptimizeUnderPowerBudgetBy(spec, v, n, ps, budget, MinTime)
+func OptimizeUnderPowerBudget(pl machine.Platform, v app.Vector, n float64, ps []int, budget units.Watts) (OperatingPoint, error) {
+	return OptimizeUnderPowerBudgetBy(pl, v, n, ps, budget, MinTime)
 }
 
 // PerformanceIsoN is the Grama-baseline counterpart of IsoEnergyN: the

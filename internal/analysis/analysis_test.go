@@ -129,7 +129,7 @@ func TestOptimizeUnderPowerBudget(t *testing.T) {
 	v := app.CG(11, 15)
 	n := 75000.0
 	// Generous budget: should pick a large p (fastest) within budget.
-	op, err := OptimizeUnderPowerBudget(sysG, v, n, []int{1, 4, 16, 64}, 3000)
+	op, err := OptimizeUnderPowerBudget(machine.Homogeneous(sysG), v, n, []int{1, 4, 16, 64}, 3000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestOptimizeUnderPowerBudget(t *testing.T) {
 		t.Fatalf("chosen point exceeds budget: %v", op.AvgPower)
 	}
 	// Tight budget: forces fewer processors and/or lower frequency.
-	tight, err := OptimizeUnderPowerBudget(sysG, v, n, []int{1, 4, 16, 64}, 200)
+	tight, err := OptimizeUnderPowerBudget(machine.Homogeneous(sysG), v, n, []int{1, 4, 16, 64}, 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,10 +151,10 @@ func TestOptimizeUnderPowerBudget(t *testing.T) {
 		t.Fatal("tighter budget cannot be faster")
 	}
 	// Impossible budget errors out.
-	if _, err := OptimizeUnderPowerBudget(sysG, v, n, []int{1, 4}, 1); err == nil {
+	if _, err := OptimizeUnderPowerBudget(machine.Homogeneous(sysG), v, n, []int{1, 4}, 1); err == nil {
 		t.Fatal("infeasible budget must error")
 	}
-	if _, err := OptimizeUnderPowerBudget(sysG, v, n, []int{1}, -5); err == nil {
+	if _, err := OptimizeUnderPowerBudget(machine.Homogeneous(sysG), v, n, []int{1}, -5); err == nil {
 		t.Fatal("negative budget must be rejected")
 	}
 }
@@ -212,7 +212,7 @@ func coreModel(mp machine.Params, v app.Vector, n float64, p int) (float64, erro
 func TestForEachOperatingPointGrid(t *testing.T) {
 	visits := 0
 	// p=0 and an absurd p are skipped; only p=4 survives.
-	err := ForEachOperatingPoint(sysG, app.FT(20), 1<<20, []int{0, 4, 1 << 30}, func(Point) { visits++ })
+	err := ForEachOperatingPoint(machine.Homogeneous(sysG), app.FT(20), 1<<20, []int{0, 4, 1 << 30}, func(Point) { visits++ })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,16 +220,54 @@ func TestForEachOperatingPointGrid(t *testing.T) {
 		t.Fatalf("want one visit per ladder frequency (%d), got %d", len(sysG.Frequencies), visits)
 	}
 	// A list with no valid parallelism is an error, not a silent no-op.
-	if err := ForEachOperatingPoint(sysG, app.FT(20), 1<<20, []int{0}, func(Point) {}); err == nil {
+	if err := ForEachOperatingPoint(machine.Homogeneous(sysG), app.FT(20), 1<<20, []int{0}, func(Point) {}); err == nil {
 		t.Fatal("all-invalid parallelism list must error")
 	}
 	// nil sweeps the power-of-two default.
 	visits = 0
-	if err := ForEachOperatingPoint(sysG, app.EP(), 1e8, nil, func(Point) { visits++ }); err != nil {
+	if err := ForEachOperatingPoint(machine.Homogeneous(sysG), app.EP(), 1e8, nil, func(Point) { visits++ }); err != nil {
 		t.Fatal(err)
 	}
 	if want := len(DefaultParallelisms(sysG)) * len(sysG.Frequencies); visits != want {
 		t.Fatalf("default sweep visited %d points, want %d", visits, want)
+	}
+}
+
+// A multi-pool platform enumerates each pool's own grid: every point
+// names its pool, ladders differ per pool, and the optimiser can settle
+// on whichever pool wins the objective.
+func TestForEachOperatingPointPerPoolGrids(t *testing.T) {
+	pl := machine.Platform{Pools: []machine.NodePool{
+		{Spec: machine.SystemG(), Nodes: 8},
+		{Spec: machine.Dori(), Nodes: 8},
+	}}
+	byPool := map[string]int{}
+	freqs := map[string]map[units.Hertz]bool{}
+	err := ForEachOperatingPoint(pl, app.EP(), 1e8, []int{4}, func(pt Point) {
+		byPool[pt.Pool]++
+		if freqs[pt.Pool] == nil {
+			freqs[pt.Pool] = map[units.Hertz]bool{}
+		}
+		freqs[pt.Pool][pt.Freq] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byPool["SystemG"] != len(machine.SystemG().Frequencies) ||
+		byPool["Dori"] != len(machine.Dori().Frequencies) {
+		t.Fatalf("per-pool visit counts: %v", byPool)
+	}
+	if !freqs["Dori"][1*units.GHz] || freqs["SystemG"][1*units.GHz] {
+		t.Fatalf("pools must enumerate their own ladders: %v", freqs)
+	}
+	// The optimiser prices both pools; EP at equal p is faster on the
+	// 2.8 GHz SystemG pool.
+	op, err := OptimizeUnderPowerBudget(pl, app.EP(), 1e8, []int{4}, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Pool != "SystemG" {
+		t.Fatalf("MinTime should pick the fast pool, got %q", op.Pool)
 	}
 }
 
@@ -252,15 +290,15 @@ func TestOptimizeObjectives(t *testing.T) {
 	v := app.CG(11, 15)
 	n := 75000.0
 	budget := units.Watts(2000)
-	minT, err := OptimizeUnderPowerBudgetBy(sysG, v, n, ps, budget, MinTime)
+	minT, err := OptimizeUnderPowerBudgetBy(machine.Homogeneous(sysG), v, n, ps, budget, MinTime)
 	if err != nil {
 		t.Fatal(err)
 	}
-	maxE, err := OptimizeUnderPowerBudgetBy(sysG, v, n, ps, budget, MaxEE)
+	maxE, err := OptimizeUnderPowerBudgetBy(machine.Homogeneous(sysG), v, n, ps, budget, MaxEE)
 	if err != nil {
 		t.Fatal(err)
 	}
-	minJ, err := OptimizeUnderPowerBudgetBy(sysG, v, n, ps, budget, MinEnergy)
+	minJ, err := OptimizeUnderPowerBudgetBy(machine.Homogeneous(sysG), v, n, ps, budget, MinEnergy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +335,7 @@ func TestOptimizeSkipsOversizedParallelism(t *testing.T) {
 	small := sysG
 	small.CoresPerNode = 1
 	small.Nodes = 8
-	op, err := OptimizeUnderPowerBudget(small, app.EP(), 1e8, []int{4, 512}, 5000)
+	op, err := OptimizeUnderPowerBudget(machine.Homogeneous(small), app.EP(), 1e8, []int{4, 512}, 5000)
 	if err != nil {
 		t.Fatal(err)
 	}

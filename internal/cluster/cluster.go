@@ -91,18 +91,25 @@ func DefaultNoise() NoiseConfig {
 
 // Config describes a simulated cluster run.
 type Config struct {
-	// Spec is the homogeneous node specification (unused if PerRank is
-	// set).
+	// Platform describes the node pools to provision. Ranks follow the
+	// platform's stable global numbering (pool 0 first), so every layer
+	// agrees which pool hosts a rank. Leave empty and set Spec for the
+	// classic homogeneous cluster.
+	Platform machine.Platform
+	// Spec is the homogeneous one-pool shorthand: when Platform has no
+	// pools, the cluster is provisioned as machine.Homogeneous(Spec).
 	Spec machine.Spec
-	// Freq is the DVFS operating frequency; zero means Spec.BaseFreq.
-	// Combining a non-zero Freq with PerRank is a configuration error:
-	// heterogeneous ranks carry their frequency inside each Params.
+	// Freq is the uniform DVFS operating frequency; zero means each
+	// pool's BaseFreq. A multi-pool platform must use PoolFreqs instead:
+	// one frequency cannot name an operating point on several ladders.
 	Freq units.Hertz
-	// Ranks is the number of MPI ranks to provision.
+	// PoolFreqs gives each pool its own initial frequency, indexed like
+	// Platform.Pools (a zero entry means that pool's BaseFreq). Mutually
+	// exclusive with Freq.
+	PoolFreqs []units.Hertz
+	// Ranks is the number of MPI ranks to provision — a prefix of the
+	// platform's global rank numbering.
 	Ranks int
-	// PerRank optionally gives each rank its own machine vector
-	// (heterogeneous clusters). len(PerRank) must equal Ranks.
-	PerRank []machine.Params
 	// Net overrides the network model; nil derives Hockney{Ts,Tb} from
 	// the rank-0 machine vector.
 	Net netmodel.Model
@@ -124,6 +131,8 @@ type Config struct {
 // per experiment run.
 type Cluster struct {
 	cfg      Config
+	platform machine.Platform
+	rankPool []int // rank → pool index
 	kernel   *sim.Kernel
 	params   []machine.Params
 	alpha    float64
@@ -178,44 +187,65 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: overlap factor α=%g outside (0,1]", cfg.Alpha)
 	}
 
-	var params []machine.Params
-	if cfg.PerRank != nil {
-		if cfg.Freq != 0 {
-			return nil, fmt.Errorf("cluster: Config.Freq %v conflicts with PerRank vectors — heterogeneous ranks set their frequency inside each machine.Params", cfg.Freq)
+	platform := cfg.Platform
+	if len(platform.Pools) == 0 {
+		platform = machine.Homogeneous(cfg.Spec)
+	}
+	if err := platform.Validate(); err != nil {
+		return nil, err
+	}
+	multi := len(platform.Pools) > 1
+	if cfg.Freq != 0 && cfg.PoolFreqs != nil {
+		return nil, fmt.Errorf("cluster: Config.Freq %v conflicts with PoolFreqs — pick one", cfg.Freq)
+	}
+	if cfg.Freq != 0 && multi {
+		return nil, fmt.Errorf("cluster: uniform Freq %v is ambiguous on a %d-pool platform — use PoolFreqs", cfg.Freq, len(platform.Pools))
+	}
+	if cfg.PoolFreqs != nil && len(cfg.PoolFreqs) != len(platform.Pools) {
+		return nil, fmt.Errorf("cluster: %d PoolFreqs for %d pools", len(cfg.PoolFreqs), len(platform.Pools))
+	}
+	if cfg.Placement == Pack && multi {
+		return nil, fmt.Errorf("cluster: Pack placement supports only one-pool platforms (ranks map to nodes per pool under Scatter)")
+	}
+
+	// One evaluated vector per pool at its initial operating point.
+	poolParams := make([]machine.Params, len(platform.Pools))
+	for i, np := range platform.Pools {
+		f := np.Spec.BaseFreq
+		switch {
+		case cfg.Freq != 0:
+			f = cfg.Freq
+		case cfg.PoolFreqs != nil && cfg.PoolFreqs[i] != 0:
+			f = cfg.PoolFreqs[i]
 		}
-		if len(cfg.PerRank) != cfg.Ranks {
-			return nil, fmt.Errorf("cluster: PerRank has %d entries for %d ranks", len(cfg.PerRank), cfg.Ranks)
-		}
-		params = append([]machine.Params(nil), cfg.PerRank...)
-		for i, p := range params {
-			if err := p.Validate(); err != nil {
-				return nil, fmt.Errorf("cluster: rank %d: %w", i, err)
-			}
-		}
-	} else {
-		if err := cfg.Spec.Validate(); err != nil {
-			return nil, err
-		}
-		f := cfg.Freq
-		if f == 0 {
-			f = cfg.Spec.BaseFreq
-		}
-		base, err := cfg.Spec.AtFrequency(f)
+		mp, err := np.Spec.AtFrequency(f)
 		if err != nil {
 			return nil, err
 		}
-		capacity := cfg.Spec.Nodes
-		if cfg.Placement == Pack {
-			capacity = cfg.Spec.MaxRanks()
+		poolParams[i] = mp
+	}
+
+	capacity := platform.TotalRanks()
+	if cfg.Placement == Pack {
+		capacity = platform.Pools[0].MaxRanks()
+	}
+	if cfg.Ranks > capacity {
+		return nil, fmt.Errorf("cluster: %d ranks exceed %s capacity %d under %v placement",
+			cfg.Ranks, platform, capacity, cfg.Placement)
+	}
+
+	params := make([]machine.Params, cfg.Ranks)
+	rankPool := make([]int, cfg.Ranks)
+	for r := range params {
+		pi := 0
+		if cfg.Placement != Pack {
+			var err error
+			if pi, err = platform.PoolOf(r); err != nil {
+				return nil, err
+			}
 		}
-		if cfg.Ranks > capacity {
-			return nil, fmt.Errorf("cluster: %d ranks exceed %s capacity %d under %v placement",
-				cfg.Ranks, cfg.Spec.Name, capacity, cfg.Placement)
-		}
-		params = make([]machine.Params, cfg.Ranks)
-		for i := range params {
-			params[i] = base
-		}
+		params[r] = poolParams[pi]
+		rankPool[r] = pi
 	}
 
 	net := cfg.Net
@@ -225,6 +255,8 @@ func New(cfg Config) (*Cluster, error) {
 
 	c := &Cluster{
 		cfg:      cfg,
+		platform: platform,
+		rankPool: rankPool,
 		kernel:   sim.NewKernel(cfg.Seed),
 		params:   params,
 		alpha:    cfg.Alpha,
@@ -243,8 +275,8 @@ func New(cfg Config) (*Cluster, error) {
 
 	c.rankNode = make([]int, cfg.Ranks)
 	coresPerNode := 1
-	if cfg.Placement == Pack && cfg.PerRank == nil {
-		coresPerNode = cfg.Spec.CoresPerNode
+	if cfg.Placement == Pack {
+		coresPerNode = platform.Pools[0].Spec.CoresPerNode
 	}
 	nNodes := (cfg.Ranks + coresPerNode - 1) / coresPerNode
 	c.txNICs = make([]*sim.Resource, nNodes)
@@ -264,20 +296,18 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 // SetRankFrequency re-evaluates one rank's machine vector at DVFS
-// frequency f, effective from the current virtual time: operations already
-// in flight keep the durations they were issued with, later operations use
-// the new vector. Energy dissipated so far is banked at the outgoing
-// parameters so TrueEnergy/MeasuredEnergy stay exact across the change.
-// Only clusters built from a homogeneous Spec support mid-run DVFS.
+// frequency f against the rank's own pool Spec, effective from the
+// current virtual time: operations already in flight keep the durations
+// they were issued with, later operations use the new vector. Energy
+// dissipated so far is banked at the outgoing parameters so
+// TrueEnergy/MeasuredEnergy stay exact across the change — the banking
+// is pool-agnostic, so heterogeneous retunes account exactly too.
 func (c *Cluster) SetRankFrequency(rank int, f units.Hertz) error {
 	r := c.checkRank(rank)
-	if c.cfg.PerRank != nil {
-		return fmt.Errorf("cluster: SetRankFrequency needs a homogeneous Spec (cluster was built from PerRank vectors)")
-	}
 	if c.params[r].Freq == f {
 		return nil
 	}
-	mp, err := c.cfg.Spec.AtFrequency(f)
+	mp, err := c.platform.Pools[c.rankPool[r]].Spec.AtFrequency(f)
 	if err != nil {
 		return err
 	}
@@ -311,6 +341,18 @@ func (c *Cluster) Ranks() int { return len(c.params) }
 
 // Params returns the machine vector of a rank.
 func (c *Cluster) Params(rank int) machine.Params { return c.params[c.checkRank(rank)] }
+
+// Platform returns the provisioned node-pool layout.
+func (c *Cluster) Platform() machine.Platform { return c.platform }
+
+// PoolOf returns the index of the platform pool hosting a rank.
+func (c *Cluster) PoolOf(rank int) int { return c.rankPool[c.checkRank(rank)] }
+
+// SpecOf returns the node-type spec of the pool hosting a rank — the
+// ladder SetRankFrequency retunes the rank against.
+func (c *Cluster) SpecOf(rank int) machine.Spec {
+	return c.platform.Pools[c.rankPool[c.checkRank(rank)]].Spec
+}
 
 // Alpha returns the configured overlap factor.
 func (c *Cluster) Alpha() float64 { return c.alpha }

@@ -67,27 +67,52 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := New(Config{Spec: testSpec(), Ranks: 65, Placement: Pack}); err == nil {
 		t.Error("65 ranks packed on 64 cores must fail")
 	}
-	// PerRank length mismatch.
-	if _, err := New(Config{Ranks: 2, PerRank: []machine.Params{testSpec().MustBase()}}); err == nil {
-		t.Error("PerRank length mismatch must fail")
+	// PoolFreqs length mismatch.
+	if _, err := New(Config{Spec: testSpec(), Ranks: 1, PoolFreqs: []units.Hertz{1 * units.GHz, 2 * units.GHz}}); err == nil {
+		t.Error("PoolFreqs length mismatch must fail")
 	}
 }
 
-// Satellite regression: a uniform Config.Freq used to be silently
-// dropped when PerRank vectors were given; the conflict is now an
-// explicit configuration error.
-func TestFreqConflictsWithPerRank(t *testing.T) {
-	base := testSpec().MustBase()
-	_, err := New(Config{Ranks: 1, Freq: 1 * units.GHz, PerRank: []machine.Params{base}})
+// testPlatform is a two-pool layout over the hand-checkable test spec: a
+// "fast" pool of 4 nodes and a "slow" 1 GHz-capped pool of 4 nodes.
+func testPlatform() machine.Platform {
+	slow := testSpec()
+	slow.Name = "slowtest"
+	slow.BaseFreq = 1 * units.GHz
+	slow.Frequencies = []units.Hertz{1 * units.GHz}
+	return machine.Platform{Pools: []machine.NodePool{
+		{Name: "fast", Spec: testSpec(), Nodes: 4},
+		{Name: "slow", Spec: slow, Nodes: 4},
+	}}
+}
+
+// A uniform Config.Freq cannot name an operating point on several pool
+// ladders; multi-pool platforms must use PoolFreqs, and mixing the two
+// is an explicit configuration error.
+func TestFreqConflictsWithPlatform(t *testing.T) {
+	_, err := New(Config{Platform: testPlatform(), Ranks: 8, Freq: 1 * units.GHz})
 	if err == nil {
-		t.Fatal("Config.Freq alongside PerRank must be rejected, not ignored")
+		t.Fatal("uniform Freq on a multi-pool platform must be rejected")
 	}
-	if !strings.Contains(err.Error(), "conflicts") {
+	if !strings.Contains(err.Error(), "PoolFreqs") {
 		t.Fatalf("unexpected error: %v", err)
 	}
-	// PerRank alone stays valid.
-	if _, err := New(Config{Ranks: 1, PerRank: []machine.Params{base}}); err != nil {
-		t.Fatal(err)
+	if _, err := New(Config{Spec: testSpec(), Ranks: 1, Freq: 1 * units.GHz,
+		PoolFreqs: []units.Hertz{1 * units.GHz}}); err == nil {
+		t.Fatal("Freq alongside PoolFreqs must be rejected")
+	}
+	// PoolFreqs alone works; zero entries mean the pool's BaseFreq.
+	c := mustNew(t, Config{Platform: testPlatform(), Ranks: 8,
+		PoolFreqs: []units.Hertz{1 * units.GHz, 0}})
+	if got := c.Params(0).Freq; got != 1*units.GHz {
+		t.Fatalf("pool 0 frequency %v, want 1 GHz", got)
+	}
+	if got := c.Params(4).Freq; got != 1*units.GHz {
+		t.Fatalf("pool 1 frequency %v, want its 1 GHz base", got)
+	}
+	// Pack placement packs cores within one node type only.
+	if _, err := New(Config{Platform: testPlatform(), Ranks: 8, Placement: Pack}); err == nil {
+		t.Fatal("Pack on a multi-pool platform must be rejected")
 	}
 }
 
@@ -373,20 +398,22 @@ func TestBusySnapshotAndIdlePower(t *testing.T) {
 	}
 }
 
-func TestHeterogeneousPerRank(t *testing.T) {
-	fast := testSpec().MustBase()
-	slow, err := testSpec().AtFrequency(1 * units.GHz)
-	if err != nil {
-		t.Fatal(err)
+func TestHeterogeneousPlatform(t *testing.T) {
+	c := mustNew(t, Config{Platform: testPlatform(), Ranks: 8})
+	// Global rank numbering: ranks 0–3 are the fast pool, 4–7 the slow.
+	if c.PoolOf(0) != 0 || c.PoolOf(3) != 0 || c.PoolOf(4) != 1 || c.PoolOf(7) != 1 {
+		t.Fatalf("rank→pool map wrong: %d %d %d %d", c.PoolOf(0), c.PoolOf(3), c.PoolOf(4), c.PoolOf(7))
 	}
-	c := mustNew(t, Config{Ranks: 2, PerRank: []machine.Params{fast, slow}})
+	if c.SpecOf(0).Name != "test" || c.SpecOf(4).Name != "slowtest" {
+		t.Fatalf("SpecOf: %s, %s", c.SpecOf(0).Name, c.SpecOf(4).Name)
+	}
 	var endFast, endSlow units.Seconds
 	c.Kernel().Spawn("fast", func(p *sim.Proc) {
 		c.Compute(p, 0, 1e6, 0)
 		endFast = p.Now()
 	})
 	c.Kernel().Spawn("slow", func(p *sim.Proc) {
-		c.Compute(p, 1, 1e6, 0)
+		c.Compute(p, 4, 1e6, 0)
 		endSlow = p.Now()
 	})
 	if err := c.Kernel().Run(); err != nil {
@@ -396,7 +423,7 @@ func TestHeterogeneousPerRank(t *testing.T) {
 		t.Fatalf("slow rank (%v) should finish after fast rank (%v)", endSlow, endFast)
 	}
 	if math.Abs(float64(endSlow)/float64(endFast)-2) > 1e-9 {
-		t.Fatalf("1GHz should take 2× as long as 2GHz: %v vs %v", endSlow, endFast)
+		t.Fatalf("1GHz pool should take 2× as long as the 2GHz pool: %v vs %v", endSlow, endFast)
 	}
 }
 
@@ -450,11 +477,6 @@ func TestSetRankFrequencyMidRunEnergy(t *testing.T) {
 }
 
 func TestSetRankFrequencyValidation(t *testing.T) {
-	base := testSpec().MustBase()
-	het := mustNew(t, Config{Ranks: 1, PerRank: []machine.Params{base}})
-	if err := het.SetRankFrequency(0, 1*units.GHz); err == nil {
-		t.Error("PerRank clusters must not support SetRankFrequency")
-	}
 	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
 	if err := c.SetRankFrequency(0, -1); err == nil {
 		t.Error("negative frequency must fail")
@@ -462,6 +484,33 @@ func TestSetRankFrequencyValidation(t *testing.T) {
 	// Same-frequency call is a no-op, not an error.
 	if err := c.SetRankFrequency(0, testSpec().BaseFreq); err != nil {
 		t.Error(err)
+	}
+}
+
+// SetRankFrequency retunes a rank against its own pool's Spec: the same
+// target frequency yields pool-specific vectors (γ and base frequency
+// differ per pool), and energy banking keeps heterogeneous accounting
+// exact.
+func TestSetRankFrequencyPerPool(t *testing.T) {
+	c := mustNew(t, Config{Platform: testPlatform(), Ranks: 8})
+	// Fast pool retunes down its own ladder: ΔPc = 20·(1/2)² = 5 W.
+	if err := c.SetRankFrequency(0, 1*units.GHz); err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(c.Params(0).DeltaPc); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("fast-pool ΔPc at 1 GHz = %g W, want 5 W", got)
+	}
+	// Slow pool's base IS 1 GHz: the same frequency is its full ΔPc.
+	if got := float64(c.Params(4).DeltaPc); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("slow-pool ΔPc at its 1 GHz base = %g W, want 20 W", got)
+	}
+	// Retuning the slow rank to its own base is a no-op; to the fast
+	// pool's 2 GHz it re-evaluates against the slow spec (ΔPc = 20·2²).
+	if err := c.SetRankFrequency(4, 2*units.GHz); err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(c.Params(4).DeltaPc); math.Abs(got-80) > 1e-12 {
+		t.Fatalf("slow-pool ΔPc at 2 GHz = %g W, want 80 W (its own γ=2 law)", got)
 	}
 }
 

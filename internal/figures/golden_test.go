@@ -1,0 +1,31 @@
+package figures
+
+import (
+	"os"
+	"testing"
+)
+
+// Satellite acceptance: figure CSVs are byte-identical to the capture
+// taken from the PR 3 code before the platform redesign — the analysis
+// surfaces and the per-Spec operating-point cache are unchanged by the
+// pooled-platform API.
+func TestFigureCSVMatchesPR3Golden(t *testing.T) {
+	o := Options{Quick: true, Seed: 1, Workers: 1}
+	for _, id := range []string{"5", "9"} {
+		want, err := os.ReadFile("testdata/golden_fig" + id + "_quick.csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig, err := g.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fig.CSV != string(want) {
+			t.Fatalf("figure %s CSV diverges from the PR 3 capture", id)
+		}
+	}
+}

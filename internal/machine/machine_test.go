@@ -201,53 +201,90 @@ func TestNetBandwidth(t *testing.T) {
 	}
 }
 
-func TestHeterogeneous(t *testing.T) {
-	h := Heterogeneous{
-		Name:   "mixed",
-		Groups: []Spec{Dori(), SystemG()},
+func TestPlatform(t *testing.T) {
+	pl := Platform{Pools: []NodePool{
+		{Spec: Dori(), Nodes: 8},
+		{Spec: SystemG(), Nodes: 32},
+	}}
+	if err := pl.Validate(); err != nil {
+		t.Fatal(err)
 	}
+	if got := pl.TotalRanks(); got != 40 {
+		t.Fatalf("TotalRanks = %d, want 40", got)
+	}
+	// Stable global numbering: pool 0 supplies ranks [0,8), pool 1 [8,40).
+	for rank, want := range map[int]int{0: 0, 7: 0, 8: 1, 39: 1} {
+		if pi, err := pl.PoolOf(rank); err != nil || pi != want {
+			t.Fatalf("PoolOf(%d) = %d, %v; want %d", rank, pi, err, want)
+		}
+	}
+	if _, err := pl.PoolOf(-1); err == nil {
+		t.Fatal("negative rank must error")
+	}
+	if _, err := pl.PoolOf(40); err == nil {
+		t.Fatal("rank beyond capacity must error")
+	}
+	if s, err := pl.SpecOf(8); err != nil || s.Name != "SystemG" {
+		t.Fatalf("SpecOf(8) = %v, %v; want SystemG", s.Name, err)
+	}
+	if lo, hi := pl.RankRange(1); lo != 8 || hi != 40 {
+		t.Fatalf("RankRange(1) = [%d,%d), want [8,40)", lo, hi)
+	}
+	if got, want := pl.String(), "Dori:8+SystemG:32"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if fs := pl.MinFrequencies(); fs[0] != Dori().MinFrequency() || fs[1] != SystemG().MinFrequency() {
+		t.Fatalf("MinFrequencies = %v", fs)
+	}
+
+	// The homogeneous wrapper is the classic one-Spec cluster: spec-name
+	// label, spec-sized pool.
+	h := Homogeneous(SystemG())
 	if err := h.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if got, want := h.MaxRanks(), Dori().MaxRanks()+SystemG().MaxRanks(); got != want {
-		t.Fatalf("MaxRanks = %d, want %d", got, want)
+	if h.String() != "SystemG" || h.TotalRanks() != SystemG().Nodes {
+		t.Fatalf("Homogeneous: %q, %d ranks", h.String(), h.TotalRanks())
 	}
-	// Rank 0 lands on Dori, rank 32 (Dori has 8×4=32 cores) on SystemG.
-	s0, err := h.SpecForRank(0)
-	if err != nil || s0.Name != "Dori" {
-		t.Fatalf("rank 0 spec = %v, %v; want Dori", s0.Name, err)
-	}
-	s32, err := h.SpecForRank(32)
-	if err != nil || s32.Name != "SystemG" {
-		t.Fatalf("rank 32 spec = %v, %v; want SystemG", s32.Name, err)
-	}
-	if _, err := h.SpecForRank(-1); err == nil {
-		t.Fatal("negative rank must error")
-	}
-	if _, err := h.SpecForRank(h.MaxRanks()); err == nil {
-		t.Fatal("rank beyond capacity must error")
+	if h.Pools[0].MaxRanks() != SystemG().MaxRanks() {
+		t.Fatalf("pool MaxRanks %d want %d", h.Pools[0].MaxRanks(), SystemG().MaxRanks())
 	}
 
-	params, err := h.ParamsForRanks(40, 2.8*units.GHz)
+	// Validation failures: no pools, duplicate names, negative counts.
+	if err := (Platform{}).Validate(); err == nil {
+		t.Fatal("empty platform must fail validation")
+	}
+	if err := (Platform{Pools: []NodePool{{Spec: Dori()}, {Spec: Dori()}}}).Validate(); err == nil {
+		t.Fatal("duplicate pool names must fail validation")
+	}
+	if err := (Platform{Pools: []NodePool{{Spec: Dori(), Nodes: -1}}}).Validate(); err == nil {
+		t.Fatal("negative node count must fail validation")
+	}
+}
+
+func TestParsePlatform(t *testing.T) {
+	pl, err := ParsePlatform("systemg:32,dori:4")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(params) != 40 {
-		t.Fatalf("got %d params", len(params))
+	if len(pl.Pools) != 2 || pl.Pools[0].NodeCount() != 32 || pl.Pools[1].NodeCount() != 4 {
+		t.Fatalf("parsed %+v", pl)
 	}
-	// Dori caps at 2.0 GHz, so rank 0 must have been clamped.
-	if params[0].Freq != 2.0*units.GHz {
-		t.Fatalf("rank 0 freq = %v, want clamped to 2 GHz", params[0].Freq)
+	if pl.Pools[0].Spec.Name != "SystemG" || pl.Pools[1].Spec.Name != "Dori" {
+		t.Fatalf("parsed specs %s, %s", pl.Pools[0].Spec.Name, pl.Pools[1].Spec.Name)
 	}
-	if params[39].Freq != 2.8*units.GHz {
-		t.Fatalf("rank 39 freq = %v, want 2.8 GHz", params[39].Freq)
+	// A bare preset deploys the full node count.
+	pl, err = ParsePlatform("dori")
+	if err != nil {
+		t.Fatal(err)
 	}
-
-	if _, err := h.ParamsForRanks(0, 2*units.GHz); err == nil {
-		t.Fatal("p=0 must error")
+	if pl.TotalRanks() != Dori().Nodes {
+		t.Fatalf("bare preset ranks = %d, want %d", pl.TotalRanks(), Dori().Nodes)
 	}
-	if _, err := h.ParamsForRanks(h.MaxRanks()+1, 2*units.GHz); err == nil {
-		t.Fatal("p beyond capacity must error")
+	for _, bad := range []string{"", "nosuch", "systemg:0", "systemg:-3", "systemg:x", "systemg,,dori"} {
+		if _, err := ParsePlatform(bad); err == nil {
+			t.Fatalf("ParsePlatform(%q) must fail", bad)
+		}
 	}
 }
 

@@ -1,0 +1,69 @@
+package opcache
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// PlatformCache memoizes model evaluations for every pool of a
+// heterogeneous platform: one per-Spec Cache per pool, so rows are keyed
+// by (pool identity, vector identity, n, p) against that pool's own DVFS
+// ladder — the full (pool, vector, n, p, f) operating-point grid. The
+// scheduler prices every candidate through it; Forget fans out to all
+// pools so a departing job's rows vanish platform-wide.
+type PlatformCache struct {
+	platform machine.Platform
+	pools    []*Cache
+}
+
+// NewPlatform validates the platform and builds one cache per pool.
+func NewPlatform(pl machine.Platform) (*PlatformCache, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	pc := &PlatformCache{platform: pl, pools: make([]*Cache, len(pl.Pools))}
+	for i, np := range pl.Pools {
+		c, err := New(np.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("opcache: pool %d (%s): %w", i, np.PoolName(), err)
+		}
+		pc.pools[i] = c
+	}
+	return pc, nil
+}
+
+// Platform returns the platform the cache evaluates against.
+func (pc *PlatformCache) Platform() machine.Platform { return pc.platform }
+
+// NumPools returns how many pools the cache spans.
+func (pc *PlatformCache) NumPools() int { return len(pc.pools) }
+
+// Pool returns pool i's per-Spec cache.
+func (pc *PlatformCache) Pool(i int) *Cache { return pc.pools[i] }
+
+// Forget drops the owner's rows in every pool.
+func (pc *PlatformCache) Forget(owner any) {
+	for _, c := range pc.pools {
+		c.Forget(owner)
+	}
+}
+
+// Stats sums hits and misses over all pools.
+func (pc *PlatformCache) Stats() (hits, misses uint64) {
+	for _, c := range pc.pools {
+		h, m := c.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}
+
+// Size sums held rows over all pools.
+func (pc *PlatformCache) Size() int {
+	n := 0
+	for _, c := range pc.pools {
+		n += c.Size()
+	}
+	return n
+}

@@ -6,9 +6,14 @@ import (
 	"repro/internal/units"
 )
 
-// Candidate is one admissible (p, f) operating point for a job, with the
-// scheduler-side power cost attached.
+// Candidate is one admissible (pool, p, f) operating point for a job,
+// with the scheduler-side power cost attached.
 type Candidate struct {
+	// Pool indexes Config.Platform.Pools: the node pool whose Spec
+	// priced this point and whose free ranks the job would occupy. A
+	// job's rank set never spans pools — the model's parameter vector is
+	// per node type.
+	Pool int
 	analysis.Point
 	// Cost is the marginal sustained draw of starting the job: its rank
 	// set's worst-case draw minus the parked idle power those ranks
@@ -33,71 +38,78 @@ func (s *Scheduler) perfSlack() float64 {
 
 // marginalCost converts a cached absolute job draw (opcache.Row.Draw) to
 // the admission currency measured against headroom: the draw minus the
-// parked idle power the job's p ranks already burn.
-func (s *Scheduler) marginalCost(draw units.Watts, p int) units.Watts {
-	m := draw - units.Watts(float64(p)*float64(s.idleMin))
+// parked idle power the job's p ranks of the given pool already burn.
+func (s *Scheduler) marginalCost(pool int, draw units.Watts, p int) units.Watts {
+	m := draw - units.Watts(float64(p)*float64(s.pools[pool].idleMin))
 	if m < 0 {
 		m = 0
 	}
 	return m
 }
 
-// candidateAt prices one explicit (p, f) point for a job — a single
-// op-cache lookup after the first evaluation.
-func (s *Scheduler) candidateAt(j Job, p int, f units.Hertz) (Candidate, bool) {
-	fi := s.cache.LadderIndex(f)
+// candidateAt prices one explicit (pool, p, f) point for a job — a
+// single op-cache lookup after the first evaluation.
+func (s *Scheduler) candidateAt(j Job, pool, p int, f units.Hertz) (Candidate, bool) {
+	ps := &s.pools[pool]
+	fi := ps.cache.LadderIndex(f)
 	if fi < 0 {
 		return Candidate{}, false
 	}
-	row, err := s.cache.Row(j.ID, j.Vector, j.N, p)
+	row, err := ps.cache.Row(j.ID, j.Vector, j.N, p)
 	if err != nil {
 		return Candidate{}, false
 	}
 	return Candidate{
-		Point: analysis.Point{P: p, Freq: f, N: j.N, Prediction: row.Pred[fi]},
-		Cost:  s.marginalCost(row.Draw[fi], p),
+		Pool:  pool,
+		Point: analysis.Point{Pool: ps.name, P: p, Freq: f, N: j.N, Prediction: row.Pred[fi]},
+		Cost:  s.marginalCost(pool, row.Draw[fi], p),
 	}, true
 }
 
-// bestCandidate searches the joint grid of the job's candidate widths ×
-// the DVFS ladder for the best point under the objective whose marginal
-// cost fits the power budget. The grid is the same (widths × ladder)
-// enumeration analysis.ForEachOperatingPoint scans offline, but served
-// from the op-cache: every (n, p) row is evaluated once per job lifetime
-// and every later scheduling edge — including the backfill shadow walk,
-// which re-prices the head at each hypothetical future state — is pure
-// lookups.
+// bestCandidate searches the per-pool grids of the job's candidate
+// widths × each pool's DVFS ladder for the best point under the
+// objective whose marginal cost fits the power budget. The grid is the
+// same per-pool enumeration analysis.ForEachOperatingPoint scans
+// offline, but served from the op-cache: every (pool, n, p) row is
+// evaluated once per job lifetime and every later scheduling edge —
+// including the backfill shadow walk, which re-prices the head at each
+// hypothetical future state — is pure lookups.
 //
-// Three rules shape the selection before the objective decides:
+// Pools are scanned in platform order, so equal points keep the earlier
+// pool (for an ee-max policy the winner is the EE-best pool; strictly
+// better later-pool points do displace earlier ones). Three rules shape
+// the selection before the objective decides:
 //
 //   - Width slack. Maximising EE alone degenerates to p=1 (a serial
 //     run has no parallel overhead, EE = 1) and would trade arbitrary
-//     runtime for marginal energy. A width is eligible only if its
-//     best runtime over the ladder stays within PerfSlack × the job's
-//     unconstrained fastest runtime — the best its full width range
-//     achieves on an empty cluster, so congestion cannot erode the
-//     reference. The rule binds width, not frequency: width is fixed
-//     for the job's lifetime, while a low admission frequency is a
-//     recoverable loan the governor repays by boosting the job up the
-//     ladder as watts free.
-//   - Waiting beats crawling. When no eligible-width point fits the
-//     budget, the job is not admitted: it waits for capacity rather
-//     than locking in a degraded shape. (Molding the job narrower the
-//     moment ranks are scarce looks attractive locally but loses
-//     fleet-wide: the narrow run occupies ranks and watts that delay
-//     every other queued job, a price the per-job comparison cannot
-//     see.) A relaxed pass drops the rule when the whole cluster is
-//     idle and waiting could never help — see Scheduler.tryAdmit.
+//     runtime for marginal energy. A (pool, width) is eligible only if
+//     its best runtime over the pool's ladder stays within PerfSlack ×
+//     the job's unconstrained fastest runtime — the best any pool's
+//     full width range achieves on an empty cluster, so congestion
+//     cannot erode the reference (and a slow pool cannot grade itself
+//     on a curve). The rule binds shape, not frequency: pool and width
+//     are fixed for the job's lifetime, while a low admission frequency
+//     is a recoverable loan the governor repays by boosting the job up
+//     the ladder as watts free.
+//   - Waiting beats crawling. When no eligible point fits the budget,
+//     the job is not admitted: it waits for capacity rather than
+//     locking in a degraded shape. (Molding the job narrower — or onto
+//     a slow pool — the moment ranks are scarce looks attractive
+//     locally but loses fleet-wide: the degraded run occupies ranks
+//     and watts that delay every other queued job, a price the per-job
+//     comparison cannot see.) A relaxed pass drops the rule when the
+//     whole cluster is idle and waiting could never help — see
+//     Scheduler.tryAdmit.
 //   - Deadlines. Among eligible points, ones that meet the job's
 //     deadline (when it has one) win over ones that do not.
 //
 // While a backfill reservation is active (rsv non-nil), a fourth rule
 // applies: a candidate whose predicted completion outlives the reserved
-// start must fit inside the reservation's spare ranks and watts, so
-// backfilled work can never delay the blocked queue head (backfill.go).
-func (s *Scheduler) bestCandidate(j Job, freeRanks int, budget units.Watts, obj analysis.Objective, now units.Seconds, relaxed bool, rsv *reservation) (Candidate, bool) {
-	ws := j.widths(freeRanks)
-	if len(ws) == 0 || budget <= 0 {
+// start must fit inside the reservation's spare ranks (of its own pool)
+// and watts, so backfilled work can never delay the blocked queue head
+// (backfill.go).
+func (s *Scheduler) bestCandidate(j Job, free []int, budget units.Watts, obj analysis.Objective, now units.Seconds, relaxed bool, rsv *reservation) (Candidate, bool) {
+	if budget <= 0 {
 		return Candidate{}, false
 	}
 	refTp, ok := s.referenceTp(j)
@@ -107,38 +119,51 @@ func (s *Scheduler) bestCandidate(j Job, freeRanks int, budget units.Watts, obj 
 	maxTp := units.Seconds(float64(refTp) * s.perfSlack())
 	var best, bestDL Candidate
 	found, foundDL := false, false
-	for _, p := range ws {
-		row, err := s.cache.Row(j.ID, j.Vector, j.N, p)
-		if err != nil {
-			// Match the offline enumeration: a model failure anywhere in
-			// the grid voids the whole search rather than silently
-			// shrinking it.
-			return Candidate{}, false
-		}
-		if !relaxed && fastestTp(row) > maxTp {
+	anyWidth := false
+	for pi := range s.pools {
+		ps := &s.pools[pi]
+		ws := j.widths(free[pi])
+		if len(ws) == 0 {
 			continue
 		}
-		for fi := range s.ladder {
-			cost := s.marginalCost(row.Draw[fi], p)
-			if cost > budget {
+		anyWidth = true
+		for _, p := range ws {
+			row, err := ps.cache.Row(j.ID, j.Vector, j.N, p)
+			if err != nil {
+				// Match the offline enumeration: a model failure anywhere in
+				// the grid voids the whole search rather than silently
+				// shrinking it.
+				return Candidate{}, false
+			}
+			if !relaxed && fastestTp(row) > maxTp {
 				continue
 			}
-			c := Candidate{
-				Point: analysis.Point{P: p, Freq: s.ladder[fi], N: j.N, Prediction: row.Pred[fi]},
-				Cost:  cost,
-			}
-			if !rsv.permits(j.ID, now, c) {
-				continue
-			}
-			if !found || obj.Better(c.Point, best.Point) {
-				best, found = c, true
-			}
-			if j.Deadline > 0 && now+c.Tp <= j.Arrival+j.Deadline {
-				if !foundDL || obj.Better(c.Point, bestDL.Point) {
-					bestDL, foundDL = c, true
+			for fi := range ps.ladder {
+				cost := s.marginalCost(pi, row.Draw[fi], p)
+				if cost > budget {
+					continue
+				}
+				c := Candidate{
+					Pool:  pi,
+					Point: analysis.Point{Pool: ps.name, P: p, Freq: ps.ladder[fi], N: j.N, Prediction: row.Pred[fi]},
+					Cost:  cost,
+				}
+				if !rsv.permits(j.ID, now, c) {
+					continue
+				}
+				if !found || obj.Better(c.Point, best.Point) {
+					best, found = c, true
+				}
+				if j.Deadline > 0 && now+c.Tp <= j.Arrival+j.Deadline {
+					if !foundDL || obj.Better(c.Point, bestDL.Point) {
+						bestDL, foundDL = c, true
+					}
 				}
 			}
 		}
+	}
+	if !anyWidth {
+		return Candidate{}, false
 	}
 	if foundDL {
 		return bestDL, true
@@ -157,53 +182,46 @@ func fastestTp(row *opcache.Row) units.Seconds {
 	return min
 }
 
-// fullFastest returns (caching per job) the fastest runtime over the
-// DVFS ladder for every width in the job's full range on the whole
-// cluster, independent of what is currently free or affordable.
-func (s *Scheduler) fullFastest(j Job) map[int]units.Seconds {
-	if m, ok := s.refFastest[j.ID]; ok {
-		return m
-	}
-	m := make(map[int]units.Seconds)
-	for _, p := range j.widths(s.cl.Ranks()) {
-		row, err := s.cache.Row(j.ID, j.Vector, j.N, p)
-		if err != nil {
-			m = nil
-			break
-		}
-		m[p] = fastestTp(row)
-	}
-	s.refFastest[j.ID] = m
-	return m
-}
-
-// referenceTp returns the unconstrained fastest runtime over the job's
-// full width range on the whole cluster — the service-quality yardstick
-// the width-slack rule measures against.
+// referenceTp returns (caching per job) the unconstrained fastest
+// runtime over every pool's full provisioned width range — the
+// service-quality yardstick the width-slack rule measures against. A
+// model failure anywhere voids the job's search, exactly like the
+// per-candidate rule in bestCandidate.
 func (s *Scheduler) referenceTp(j Job) (units.Seconds, bool) {
+	if tp, ok := s.refFastest[j.ID]; ok {
+		return tp, tp > 0
+	}
 	min := units.Seconds(0)
-	for _, tp := range s.fullFastest(j) {
-		if min == 0 || tp < min {
-			min = tp
+	for pi := range s.pools {
+		ps := &s.pools[pi]
+		for _, p := range j.widths(ps.size) {
+			row, err := ps.cache.Row(j.ID, j.Vector, j.N, p)
+			if err != nil {
+				s.refFastest[j.ID] = -1
+				return 0, false
+			}
+			if tp := fastestTp(row); min == 0 || tp < min {
+				min = tp
+			}
 		}
 	}
-	return min, min > 0
+	if min <= 0 {
+		s.refFastest[j.ID] = -1
+		return 0, false
+	}
+	s.refFastest[j.ID] = min
+	return min, true
 }
 
-// profileLadder returns the job's cached ladder row at width p: model
-// EE/energy/runtime and the conservative draw at every ladder frequency.
-// The governor consults it on every retune decision; it is the same row
-// admission priced the job from, so control and admission can never
-// disagree about a job's operating points.
-func (s *Scheduler) profileLadder(j Job, p int) (*opcache.Row, bool) {
-	row, err := s.cache.Row(j.ID, j.Vector, j.N, p)
+// profileLadder returns the job's cached ladder row at width p on the
+// given pool: model EE/energy/runtime and the conservative draw at every
+// ladder frequency. The governor consults it on every retune decision;
+// it is the same row admission priced the job from, so control and
+// admission can never disagree about a job's operating points.
+func (s *Scheduler) profileLadder(j Job, pool, p int) (*opcache.Row, bool) {
+	row, err := s.pools[pool].cache.Row(j.ID, j.Vector, j.N, p)
 	if err != nil {
 		return nil, false
 	}
 	return row, true
-}
-
-// ladderIndex maps a frequency to its position on the spec's ladder.
-func (s *Scheduler) ladderIndex(f units.Hertz) int {
-	return s.cache.LadderIndex(f)
 }

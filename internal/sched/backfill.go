@@ -6,8 +6,9 @@ import (
 	"repro/internal/units"
 )
 
-// This file implements EASY-style backfill with two-dimensional
-// reservations (ranks AND watts) on top of any admission policy.
+// This file implements EASY-style backfill with multi-dimensional
+// reservations (per-pool ranks AND watts) on top of any admission
+// policy.
 //
 // The greedy policies admit whatever fits, so under a continuous stream
 // of narrow arrivals a wide job's admission can be deferred forever: a
@@ -16,47 +17,51 @@ import (
 // start, reserve the earliest future point at which it can, and let
 // later jobs jump the queue only if they do not push that point back.
 //
-// Under a power cap the reservation must hold two resources. The shadow
-// walk replays the model-predicted completions of every running (and
-// just-admitted) job — each completion returns its rank set and its
-// conservative marginal draw (admission.go) to the pool — and probes
-// the wrapped policy at each step: the first shadow state in which the
-// inner policy would start the head becomes the reservation (start
-// time, width, watts). Probing the inner policy rather than a fixed
-// rule keeps composition honest: a fifo head is reserved its full width
-// at nominal frequency, an ee-max head its EE-best eligible point.
+// Under a power cap on a pooled platform the reservation must hold the
+// watts dimension plus one rank dimension per pool. The shadow walk
+// replays the model-predicted completions of every running (and
+// just-admitted) job — each completion returns its rank set to its own
+// pool and its conservative marginal draw (admission.go) to the shared
+// watt pool — and probes the wrapped policy at each step: the first
+// shadow state in which the inner policy would start the head becomes
+// the reservation (start time, pool, width, watts). Probing the inner
+// policy rather than a fixed rule keeps composition honest: a fifo head
+// is reserved its full width at nominal frequency in the first pool
+// that fits, an ee-max head its EE-best eligible point.
 //
 // Backfill then admits a later job only if its predicted completion
 // lands before the reserved start, or if it fits inside the shadow
-// state's spare capacity (extraRanks/extraWatts) so the head still
-// starts on time. The governor observes the same contract: a boost that
-// would leave a job running past the reserved start may only spend the
-// reservation's spare watts (governor.go).
+// state's spare capacity (extraRanks of its own pool, extraWatts) so
+// the head still starts on time. The governor observes the same
+// contract: a boost that would leave a job running past the reserved
+// start may only spend the reservation's spare watts (governor.go).
 //
 // Predicted completions are the model's, re-priced at every retune via
 // the runningJob progress bookkeeping (scheduler.go), and the whole
 // reservation is recomputed from fresh state on every scheduling edge —
 // prediction error shifts a reserved start, it never strands it.
 
-// reservation promises the blocked queue head a (ranks, watts) pair at
-// a model-predicted future start time. extraRanks/extraWatts are the
-// capacity beyond the promise still spendable by work that outlives the
-// reserved start; admissions and governor boosts draw them down.
+// reservation promises the blocked queue head a (pool, ranks, watts)
+// tuple at a model-predicted future start time. extraRanks (per pool)
+// and extraWatts are the capacity beyond the promise still spendable by
+// work that outlives the reserved start; admissions and governor boosts
+// draw them down.
 type reservation struct {
 	jobID int
 	at    units.Seconds // reserved (shadow) start time
+	pool  int           // reserved pool
 	p     int           // reserved width
 	cost  units.Watts   // reserved marginal draw
 
-	extraRanks int
+	extraRanks []int // per pool, indexed like Scheduler.pools
 	extraWatts units.Watts
 }
 
 // permits reports whether admitting jobID at candidate c now would keep
 // the reservation intact: the reserved job itself is exempt, jobs whose
 // predicted completion lands before the reserved start never touch it,
-// and anything else must fit the spare capacity. A nil reservation
-// permits everything.
+// and anything else must fit the spare capacity of its own pool. A nil
+// reservation permits everything.
 func (r *reservation) permits(jobID int, now units.Seconds, c Candidate) bool {
 	if r == nil || jobID == r.jobID {
 		return true
@@ -64,7 +69,7 @@ func (r *reservation) permits(jobID int, now units.Seconds, c Candidate) bool {
 	if now+c.Tp <= r.at {
 		return true
 	}
-	return c.P <= r.extraRanks && c.Cost <= r.extraWatts
+	return c.P <= r.extraRanks[c.Pool] && c.Cost <= r.extraWatts
 }
 
 // Backfill wraps an admission policy with EASY-style reservations: the
@@ -117,18 +122,20 @@ func (b backfillPolicy) Admit(ctx *AdmitContext) {
 
 // computeReservation runs the shadow walk for the blocked queue head:
 // replay the predicted completions of running and just-admitted jobs in
-// time order, crediting each job's ranks and marginal draw back to the
-// pool, and probe the inner policy at every distinct shadow time. The
-// first probe that starts the head defines the reservation. At the final
-// event the cluster is fully drained, so the probe relaxes the width-
-// slack rule exactly as tryAdmit does on an idle cluster — any job
-// feasible at all is guaranteed a reservation, which is the liveness
-// bound. Returns nil when there is nothing running to wait for or the
-// head is infeasible even on the drained cluster.
+// time order, crediting each job's ranks back to its own pool and its
+// marginal draw to the shared watt budget, and probe the inner policy at
+// every distinct shadow time. The first probe that starts the head
+// defines the reservation. At the final event the cluster is fully
+// drained, so the probe relaxes the width-slack rule exactly as tryAdmit
+// does on an idle cluster — any job feasible at all is guaranteed a
+// reservation, which is the liveness bound. Returns nil when there is
+// nothing running to wait for or the head is infeasible even on the
+// drained cluster.
 func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext) *reservation {
 	type event struct {
 		t     units.Seconds
 		id    int
+		pool  int
 		ranks int
 		watts units.Watts
 	}
@@ -137,12 +144,13 @@ func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext
 		evs = append(evs, event{
 			t:     s.predictedEnd(rj),
 			id:    rj.e.job.ID,
+			pool:  rj.pool,
 			ranks: rj.width(),
-			watts: rj.prof.Draw[rj.fIdx] - units.Watts(float64(rj.width())*float64(s.idleMin)),
+			watts: rj.prof.Draw[rj.fIdx] - units.Watts(float64(rj.width())*float64(s.pools[rj.pool].idleMin)),
 		})
 	}
 	for _, adm := range ctx.admitted {
-		evs = append(evs, event{t: ctx.now + adm.cand.Tp, id: adm.jobID, ranks: adm.cand.P, watts: adm.cand.Cost})
+		evs = append(evs, event{t: ctx.now + adm.cand.Tp, id: adm.jobID, pool: adm.cand.Pool, ranks: adm.cand.P, watts: adm.cand.Cost})
 	}
 	if len(evs) == 0 {
 		return nil
@@ -153,21 +161,24 @@ func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext
 		}
 		return evs[a].id < evs[b].id
 	})
-	free, watts := ctx.free, ctx.headroom
+	free, watts := append([]int(nil), ctx.free...), ctx.headroom
 	for i, e := range evs {
-		free += e.ranks
+		free[e.pool] += e.ranks
 		watts += e.watts
 		if i+1 < len(evs) && evs[i+1].t == e.t {
 			continue // coalesce simultaneous completions
 		}
 		relaxed := ctx.relaxed || i == len(evs)-1
 		if cand, ok := s.shadowCandidate(inner, head, free, watts, e.t, relaxed); ok {
+			extra := append([]int(nil), free...)
+			extra[cand.Pool] -= cand.P
 			return &reservation{
 				jobID:      head.ID,
 				at:         e.t,
+				pool:       cand.Pool,
 				p:          cand.P,
 				cost:       cand.Cost,
-				extraRanks: free - cand.P,
+				extraRanks: extra,
 				extraWatts: watts - cand.Cost,
 			}
 		}
@@ -176,14 +187,14 @@ func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext
 }
 
 // shadowCandidate asks the inner policy whether it would start job j on
-// a hypothetical cluster with the given free ranks and power headroom at
-// virtual time at, and with which candidate. The probe context never
-// mutates scheduler state.
-func (s *Scheduler) shadowCandidate(inner Policy, j Job, free int, watts units.Watts, at units.Seconds, relaxed bool) (Candidate, bool) {
+// a hypothetical cluster with the given per-pool free ranks and power
+// headroom at virtual time at, and with which candidate. The probe
+// context never mutates scheduler state.
+func (s *Scheduler) shadowCandidate(inner Policy, j Job, free []int, watts units.Watts, at units.Seconds, relaxed bool) (Candidate, bool) {
 	sctx := &AdmitContext{
 		s:        s,
 		now:      at,
-		free:     free,
+		free:     append([]int(nil), free...),
 		headroom: watts,
 		queue:    []Job{j},
 		taken:    make(map[int]bool),

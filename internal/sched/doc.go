@@ -4,28 +4,42 @@
 // power cap — the "power-constrained parallel computation" of the
 // paper's title at fleet scale.
 //
+// The scheduler speaks the platform contract (machine.Platform): a
+// cluster is a set of typed node pools, each a Spec × node count with
+// its own DVFS ladder, and every job runs entirely within one pool —
+// the model's parameter vector is per node type. The classic
+// homogeneous cluster is the one-pool special case
+// (machine.Homogeneous) and reproduces the single-Spec scheduler's
+// behaviour byte for byte.
+//
 // The subsystem splits into two cooperating halves (DESIGN.md §6):
 //
 //   - An admission controller. When capacity frees up (job arrival or
 //     completion), the configured Policy picks which queued jobs start
-//     and at which (p, f) operating point, scanning the same joint grid
-//     the offline optimiser uses (analysis.ForEachOperatingPoint)
-//     served from a memoized operating-point cache (internal/opcache):
-//     every (vector, n, p, f) tuple is priced once per job lifetime and
-//     every later scheduling edge is a lookup. Admission is
-//     conservative: a job's power cost is its sustained worst-case draw
-//     (envelope over the DVFS ladder, computed in opcache), so the
-//     measured cluster draw can never exceed the cap between control
-//     actions.
+//     and at which (pool, p, f) operating point, scanning the same
+//     per-pool grids the offline optimiser uses
+//     (analysis.ForEachOperatingPoint) served from a memoized
+//     operating-point cache (internal/opcache): every (pool, vector, n,
+//     p, f) tuple is priced once per job lifetime and every later
+//     scheduling edge is a lookup. Pool choice is policy-visible and
+//     deterministic — ee-max takes the EE-best pool its slack rule
+//     allows, fifo drains onto the lowest-ranked pool that fits.
+//     Admission is conservative: a job's power cost is its sustained
+//     worst-case draw (envelope over its pool's ladder, computed in
+//     opcache), so the measured cluster draw can never exceed the cap
+//     between control actions.
 //
 //   - A runtime DVFS governor. A power.Profiler samples the simulated
 //     cluster on a fixed virtual-time grid; the governor subscribes to
 //     those samples, audits them against the cap (counting violations),
 //     and — for DVFS-capable policies — throttles jobs when the
-//     predicted draw exceeds the cap and boosts jobs back up the ladder
-//     when headroom frees, but only where the model says the job's
-//     iso-energy-efficiency does not degrade. Frequency changes take
-//     effect mid-run through cluster.SetRankFrequency.
+//     predicted draw exceeds the cap and boosts jobs back up their own
+//     pool's ladder when headroom frees, but only where the model says
+//     the job's iso-energy-efficiency does not degrade. Frequency
+//     changes take effect mid-run through cluster.SetRankFrequency
+//     (which retunes each rank against its pool's Spec), and with
+//     Config.EdgeRetune the same control pass also runs on every
+//     admission/completion edge, cutting control latency to zero.
 //
 // Jobs execute as real discrete-event work on the shared cluster, but
 // purely through timer callbacks on the kernel's channel-free fast path

@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/machine"
+)
+
+// goldenDump serialises a schedule with full float precision (%.17g
+// round-trips float64 exactly), so byte equality of dumps is numerical
+// equality of schedules. The format matches the capture taken from the
+// PR 3 single-Spec scheduler before the platform redesign.
+func goldenDump(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy=%s ranks=%d cap=%.17g\n", res.Policy, res.Ranks, float64(res.Cap))
+	for _, j := range res.Jobs {
+		fmt.Fprintf(&b, "job=%d app=%s state=%s p=%d f=%.17g start=%.17g end=%.17g wait=%.17g energy=%.17g ee=%.17g retunes=%d bf=%t dl=%t\n",
+			j.ID, j.Vector.Name, j.State, j.P, float64(j.StartFreq), float64(j.Start), float64(j.End),
+			float64(j.Wait), float64(j.Energy), j.ModelEE, j.FreqChanges, j.Backfilled, j.DeadlineMet)
+	}
+	fmt.Fprintf(&b, "makespan=%.17g done=%d rej=%d thru=%.17g totalE=%.17g parkedE=%.17g eJob=%.17g meanEE=%.17g meanwait=%.17g maxwait=%.17g p95wait=%.17g bfjobs=%d bypass=%d dlmiss=%d samples=%d viol=%d peak=%.17g meanW=%.17g retunes=%d\n",
+		float64(res.Makespan), res.Completed, res.Rejected, res.Throughput,
+		float64(res.TotalEnergy), float64(res.ParkedEnergy), float64(res.EnergyPerJob), res.MeanEE,
+		float64(res.MeanWait), float64(res.MaxWait), float64(res.P95Wait),
+		res.BackfilledJobs, res.HeadBypasses, res.DeadlineMisses,
+		res.Samples, res.CapViolations, float64(res.PeakPower), float64(res.MeanPower), res.FreqChanges)
+	return b.String()
+}
+
+// Satellite acceptance: a one-pool Platform is the single-Spec cluster.
+// The golden file holds the schedules the PR 3 scheduler (Config.Spec,
+// scalar free list, single opcache) produced on the schedrun default
+// trace for every policy family, noise-free and noisy — the platform
+// redesign must reproduce them byte for byte, comparison table included.
+func TestHomogeneousPlatformMatchesPR3Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 64-job traces across five policies")
+	}
+	want, err := os.ReadFile("testdata/golden_systemg64_cap2500_seed1.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := SyntheticTrace(TraceConfig{Jobs: 64, Seed: 1})
+
+	runs := []struct {
+		label string
+		pol   Policy
+		noise bool
+	}{
+		{"fifo", FIFO(), false},
+		{"ee-max", EEMax(), false},
+		{"fair-share", FairShare(), false},
+		{"backfill+fifo", Backfill(FIFO()), false},
+		{"backfill+ee-max", Backfill(EEMax()), false},
+		{"noisy/backfill+ee-max", Backfill(EEMax()), true},
+	}
+
+	var b strings.Builder
+	var quiet []Result
+	for _, rc := range runs {
+		cfg := Config{
+			Platform: machine.Homogeneous(machine.SystemG()),
+			Ranks:    64,
+			Cap:      2500,
+			Policy:   rc.pol,
+			Seed:     1,
+		}
+		if rc.noise {
+			cfg.Noise = cluster.DefaultNoise()
+			cfg.NoisyMeter = true
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "== %s ==\n%s", rc.label, goldenDump(res))
+		if !rc.noise {
+			quiet = append(quiet, res)
+		}
+	}
+	fmt.Fprintf(&b, "== comparison ==\n%s", ComparisonTable(quiet))
+
+	if got := b.String(); got != string(want) {
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("one-pool platform diverges from the PR 3 single-Spec schedule at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("dump length differs: got %d lines, want %d", len(gl), len(wl))
+	}
+}

@@ -11,15 +11,21 @@ import (
 // governor is the runtime half of the scheduler: it subscribes to the
 // power profiler's virtual-time samples, audits the measured cluster
 // draw against the cap, and — when the policy permits DVFS — walks
-// running jobs up and down the frequency ladder so the draw tracks the
-// cap from below.
+// running jobs up and down their own pool's frequency ladder so the
+// draw tracks the cap from below. On a heterogeneous platform each job
+// retunes against the ladder of the pool hosting it (ladders differ in
+// range and step); the control rules are pool-agnostic because they
+// compare joules and watts, never raw frequencies.
 //
 // Control is model-predictive rather than purely reactive: decisions
 // compare the conservative predicted draw (admission.go) against the
 // cap, so an action can never itself cause a violation; the measured
 // samples close the loop as the audit trail (violation counting) and as
 // the trigger for emergency throttling should the prediction ever be
-// overrun (e.g. under execution noise).
+// overrun (e.g. under execution noise). With Config.EdgeRetune the same
+// throttle/boost pass additionally runs at every scheduling edge
+// (Scheduler.edgeRetune), cutting the control latency from one sampling
+// period to zero.
 type governor struct {
 	s *Scheduler
 
@@ -115,7 +121,7 @@ func (g *governor) boost() {
 		changed := false
 		for _, rj := range g.sorted() {
 			next := rj.fIdx + 1
-			if next >= len(g.s.ladder) {
+			if next >= len(g.s.ladderOf(rj)) {
 				continue
 			}
 			eeGain := rj.prof.Pred[next].EE > rj.prof.Pred[rj.fIdx].EE+1e-12
@@ -169,11 +175,12 @@ func (g *governor) relinquish() {
 	}
 }
 
-// retune moves a running job to ladder index idx: bank each rank's
-// energy at the outgoing vector, then switch the hardware. Work already
-// in flight keeps its issued duration; subsequent slices use the new
-// vector. Model progress is re-priced at the boundary so predicted
-// completions (backfill's shadow clock) stay piecewise-exact.
+// retune moves a running job to index idx of its pool's ladder: bank
+// each rank's energy at the outgoing vector, then switch the hardware
+// (SetRankFrequency re-evaluates against the rank's own pool Spec).
+// Work already in flight keeps its issued duration; subsequent slices
+// use the new vector. Model progress is re-priced at the boundary so
+// predicted completions (backfill's shadow clock) stay piecewise-exact.
 func (g *governor) retune(rj *runningJob, idx int) {
 	now := g.s.cl.Kernel().Now()
 	if tp := rj.prof.Pred[rj.fIdx].Tp; tp > 0 {
@@ -183,7 +190,7 @@ func (g *governor) retune(rj *runningJob, idx int) {
 		}
 	}
 	rj.pricedAt = now
-	f := g.s.ladder[idx]
+	f := g.s.ladderOf(rj)[idx]
 	for _, r := range rj.ranks {
 		rj.energy += g.s.bankMeter(r)
 		if err := g.s.cl.SetRankFrequency(r, f); err != nil {

@@ -131,8 +131,10 @@ type JobResult struct {
 	State JobState
 	// Reason explains a rejection.
 	Reason string
-	// P and StartFreq are the admitted operating point; FreqChanges
-	// counts governor retunes applied after admission.
+	// Pool names the platform node pool the job ran in (empty until
+	// dispatch); P and StartFreq are the admitted operating point;
+	// FreqChanges counts governor retunes applied after admission.
+	Pool        string
 	P           int
 	StartFreq   units.Hertz
 	FreqChanges int

@@ -8,9 +8,10 @@ import (
 	"repro/internal/units"
 )
 
-// Policy decides which queued jobs start, and at which (p, f) operating
-// points, whenever cluster capacity changes. Policies are stateless;
-// everything they may inspect or do flows through the AdmitContext.
+// Policy decides which queued jobs start, and at which (pool, p, f)
+// operating points, whenever cluster capacity changes. Policies are
+// stateless; everything they may inspect or do flows through the
+// AdmitContext.
 type Policy interface {
 	// Name labels the policy in reports.
 	Name() string
@@ -18,8 +19,8 @@ type Policy interface {
 	// policy's jobs after admission.
 	DVFS() bool
 	// Admit inspects ctx.Pending() and calls ctx.Admit for every job to
-	// start now. The context tracks remaining ranks and headroom as
-	// admissions accumulate.
+	// start now. The context tracks remaining per-pool ranks and
+	// headroom as admissions accumulate.
 	Admit(ctx *AdmitContext)
 }
 
@@ -29,7 +30,7 @@ type AdmitContext struct {
 	s   *Scheduler
 	now units.Seconds
 
-	free     int
+	free     []int // per-pool free ranks, indexed like Pools()
 	headroom units.Watts
 	queue    []Job
 	admitted []admission
@@ -40,7 +41,8 @@ type AdmitContext struct {
 	// gives the queue head an exclusive, unconstrained admission shot.
 	only *int
 	// rsv constrains admissions to ones that neither delay the reserved
-	// start of the blocked queue head nor eat its reserved watts.
+	// start of the blocked queue head nor eat its reserved per-pool
+	// ranks or watts.
 	rsv *reservation
 	// shadow marks a hypothetical context used to probe a policy at a
 	// future cluster state (backfill.go); shadow passes never touch the
@@ -57,8 +59,21 @@ type admission struct {
 	backfilled bool
 }
 
-// Spec returns the cluster's node specification.
-func (c *AdmitContext) Spec() machine.Spec { return c.s.cfg.Spec }
+// Pools returns the platform's node pools in rank order — the pool
+// indices every Candidate and per-pool accessor refer to.
+func (c *AdmitContext) Pools() []machine.NodePool { return c.s.cfg.Platform.Pools }
+
+// NumPools returns how many node pools the platform has.
+func (c *AdmitContext) NumPools() int { return len(c.s.pools) }
+
+// PoolSpec returns the node-type spec of pool i.
+func (c *AdmitContext) PoolSpec(i int) machine.Spec { return c.s.pools[i].spec }
+
+// PoolSize returns the provisioned rank count of pool i.
+func (c *AdmitContext) PoolSize(i int) int { return c.s.pools[i].size }
+
+// SpecOf returns the node-type spec hosting a global rank.
+func (c *AdmitContext) SpecOf(rank int) machine.Spec { return c.s.cl.SpecOf(rank) }
 
 // Now returns the current virtual time.
 func (c *AdmitContext) Now() units.Seconds { return c.now }
@@ -66,12 +81,22 @@ func (c *AdmitContext) Now() units.Seconds { return c.now }
 // Cap returns the cluster power cap.
 func (c *AdmitContext) Cap() units.Watts { return c.s.cfg.Cap }
 
-// TotalRanks returns the provisioned cluster size.
+// TotalRanks returns the provisioned cluster size over all pools.
 func (c *AdmitContext) TotalRanks() int { return c.s.cl.Ranks() }
 
-// FreeRanks returns the ranks not yet claimed, including by admissions
+// FreeRanks returns the ranks not yet claimed in any pool, including by
+// admissions already made through this context.
+func (c *AdmitContext) FreeRanks() int {
+	n := 0
+	for _, f := range c.free {
+		n += f
+	}
+	return n
+}
+
+// FreeRanksIn returns pool i's unclaimed ranks, including admissions
 // already made through this context.
-func (c *AdmitContext) FreeRanks() int { return c.free }
+func (c *AdmitContext) FreeRanksIn(i int) int { return c.free[i] }
 
 // Headroom returns the power still available under the cap after the
 // draws of running jobs and of admissions already made here.
@@ -105,25 +130,25 @@ func (c *AdmitContext) head() (Job, bool) {
 	return Job{}, false
 }
 
-// Best searches the job's width range × the DVFS ladder for the best
+// Best searches every pool's width range × DVFS ladder for the best
 // operating point under obj whose marginal power cost fits budget
 // (admission.go documents the cost model, the performance-slack rule,
-// and deadline preference). While a backfill reservation is active,
-// only points it permits are considered. ok is false when the job
-// should wait.
+// deadline preference, and the pool scan order). While a backfill
+// reservation is active, only points it permits are considered. ok is
+// false when the job should wait.
 func (c *AdmitContext) Best(j Job, budget units.Watts, obj analysis.Objective) (Candidate, bool) {
 	return c.s.bestCandidate(j, c.free, budget, obj, c.now, c.relaxed, c.rsv)
 }
 
-// At prices one explicit (p, f) point for the job; ok is false when the
-// point is invalid, needs more ranks than are free, exceeds the
-// context's remaining headroom, or would eat an active backfill
-// reservation.
-func (c *AdmitContext) At(j Job, p int, f units.Hertz) (Candidate, bool) {
-	if p < 1 || p > c.free {
+// At prices one explicit (pool, p, f) point for the job; ok is false
+// when the point is invalid, needs more ranks than the pool has free,
+// exceeds the context's remaining headroom, or would eat an active
+// backfill reservation.
+func (c *AdmitContext) At(j Job, pool, p int, f units.Hertz) (Candidate, bool) {
+	if pool < 0 || pool >= len(c.free) || p < 1 || p > c.free[pool] {
 		return Candidate{}, false
 	}
-	cand, ok := c.s.candidateAt(j, p, f)
+	cand, ok := c.s.candidateAt(j, pool, p, f)
 	if !ok || cand.Cost > c.headroom {
 		return Candidate{}, false
 	}
@@ -133,26 +158,27 @@ func (c *AdmitContext) At(j Job, p int, f units.Hertz) (Candidate, bool) {
 	return cand, true
 }
 
-// Admit commits the job at the candidate point, deducting its ranks and
-// power from the context (and, for jobs predicted to outlive an active
-// reservation, from the reservation's spare capacity). Admitting a job
-// twice, or beyond the free capacity, panics: policies are in-package
-// and this is a logic error.
+// Admit commits the job at the candidate point, deducting its ranks
+// from the candidate's pool and its power from the context (and, for
+// jobs predicted to outlive an active reservation, from the
+// reservation's spare capacity). Admitting a job twice, or beyond the
+// free capacity, panics: policies are in-package and this is a logic
+// error.
 func (c *AdmitContext) Admit(j Job, cand Candidate) {
 	if c.taken[j.ID] {
 		panic("sched: job admitted twice in one pass")
 	}
-	if cand.P > c.free || cand.Cost > c.headroom {
+	if cand.P > c.free[cand.Pool] || cand.Cost > c.headroom {
 		panic("sched: admission exceeds free ranks or headroom")
 	}
 	backfilled := false
 	if c.rsv != nil && j.ID != c.rsv.jobID {
 		backfilled = true
 		if c.now+cand.Tp > c.rsv.at {
-			if cand.P > c.rsv.extraRanks || cand.Cost > c.rsv.extraWatts {
+			if cand.P > c.rsv.extraRanks[cand.Pool] || cand.Cost > c.rsv.extraWatts {
 				panic("sched: backfill admission would eat the head's reservation")
 			}
-			c.rsv.extraRanks -= cand.P
+			c.rsv.extraRanks[cand.Pool] -= cand.P
 			c.rsv.extraWatts -= cand.Cost
 		}
 	}
@@ -166,7 +192,7 @@ func (c *AdmitContext) Admit(j Job, cand Candidate) {
 		}
 	}
 	c.taken[j.ID] = true
-	c.free -= cand.P
+	c.free[cand.Pool] -= cand.P
 	c.headroom -= cand.Cost
 	c.admitted = append(c.admitted, admission{jobID: j.ID, cand: cand, backfilled: backfilled})
 }
@@ -193,27 +219,30 @@ func byPriority(jobs []Job) []Job {
 type fifoPolicy struct{}
 
 // FIFO is the baseline: jobs start in arrival order at their full
-// requested width and the uniform nominal frequency, with first-fit
-// backfill past a blocked head. No DVFS: what every power-oblivious
-// batch scheduler does, plus just enough cap awareness not to violate
-// the budget outright.
+// requested width and each pool's uniform nominal frequency, with
+// first-fit backfill past a blocked head. Pools are tried in rank order
+// — the lowest free ranks win, which is what a power-oblivious batch
+// scheduler with a flat node list does — plus just enough cap awareness
+// not to violate the budget outright. No DVFS.
 func FIFO() Policy { return fifoPolicy{} }
 
 func (fifoPolicy) Name() string { return "fifo" }
 func (fifoPolicy) DVFS() bool   { return false }
 
 func (fifoPolicy) Admit(ctx *AdmitContext) {
-	base := ctx.Spec().BaseFreq
 	for _, j := range ctx.Pending() {
-		p := j.MaxWidth
-		if p > ctx.TotalRanks() {
-			p = ctx.TotalRanks()
-		}
-		if p < j.minWidth() || p > ctx.FreeRanks() {
-			continue
-		}
-		if cand, ok := ctx.At(j, p, base); ok {
-			ctx.Admit(j, cand)
+		for pi := 0; pi < ctx.NumPools(); pi++ {
+			p := j.MaxWidth
+			if sz := ctx.PoolSize(pi); p > sz {
+				p = sz
+			}
+			if p < j.minWidth() || p > ctx.FreeRanksIn(pi) {
+				continue
+			}
+			if cand, ok := ctx.At(j, pi, p, ctx.PoolSpec(pi).BaseFreq); ok {
+				ctx.Admit(j, cand)
+				break
+			}
 		}
 	}
 }
@@ -222,9 +251,10 @@ func (fifoPolicy) Admit(ctx *AdmitContext) {
 
 type eeMaxPolicy struct{}
 
-// EEMax admits in priority order, each job at the operating point
-// maximising predicted iso-energy-efficiency within the remaining power
-// headroom and free ranks; later queue entries backfill whatever the
+// EEMax admits in priority order, each job at the operating point —
+// across every pool's grid — maximising predicted iso-energy-efficiency
+// within the remaining power headroom and free ranks, so the EE-best
+// pool wins each admission; later queue entries backfill whatever the
 // earlier ones left.
 func EEMax() Policy { return eeMaxPolicy{} }
 

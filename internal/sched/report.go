@@ -12,9 +12,11 @@ import (
 // Result is the fleet-level accounting of one schedule.
 type Result struct {
 	Policy string
-	Spec   string
-	Ranks  int
-	Cap    units.Watts
+	// Platform labels the node-pool layout the schedule ran on (the
+	// spec name for a one-pool platform, "a:N+b:M" for mixed ones).
+	Platform string
+	Ranks    int
+	Cap      units.Watts
 
 	// Jobs holds every submitted job's record, ordered by ID.
 	Jobs []JobResult
@@ -64,10 +66,10 @@ type Result struct {
 // collect assembles the Result after the kernel drains.
 func (s *Scheduler) collect() Result {
 	res := Result{
-		Policy: s.cfg.Policy.Name(),
-		Spec:   s.cfg.Spec.Name,
-		Ranks:  s.cl.Ranks(),
-		Cap:    s.cfg.Cap,
+		Policy:   s.cfg.Policy.Name(),
+		Platform: s.cfg.Platform.String(),
+		Ranks:    s.cl.Ranks(),
+		Cap:      s.cfg.Cap,
 
 		Makespan:     s.cl.Wall(),
 		ParkedEnergy: s.parkedEnergy,
@@ -133,7 +135,7 @@ func (s *Scheduler) collect() Result {
 // String renders a one-result summary.
 func (r Result) String() string {
 	return fmt.Sprintf("%s on %s/%d ranks, cap %v: %d done, %d rejected, makespan %v, energy/job %v, violations %d",
-		r.Policy, r.Spec, r.Ranks, r.Cap, r.Completed, r.Rejected, r.Makespan, r.EnergyPerJob, r.CapViolations)
+		r.Policy, r.Platform, r.Ranks, r.Cap, r.Completed, r.Rejected, r.Makespan, r.EnergyPerJob, r.CapViolations)
 }
 
 // ComparisonTable renders a head-to-head table over policies run on the
@@ -154,16 +156,20 @@ func ComparisonTable(results []Result) string {
 // JobTable renders the per-job records of one result.
 func (r Result) JobTable() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%4s %-4s %-8s %4s %8s %9s %9s %9s %11s %7s %7s %2s\n",
-		"job", "app", "state", "p", "f[GHz]", "arrive", "start", "end", "energy", "EE", "retunes", "bf")
+	fmt.Fprintf(&b, "%4s %-4s %-8s %-8s %4s %8s %9s %9s %9s %11s %7s %7s %2s\n",
+		"job", "app", "pool", "state", "p", "f[GHz]", "arrive", "start", "end", "energy", "EE", "retunes", "bf")
 	for _, j := range r.Jobs {
 		f := float64(j.StartFreq) / 1e9
 		bf := ""
 		if j.Backfilled {
 			bf = "y"
 		}
-		fmt.Fprintf(&b, "%4d %-4s %-8s %4d %8.1f %9v %9v %9v %11v %7.4f %7d %2s\n",
-			j.ID, j.Vector.Name, j.State, j.P, f, j.Arrival, j.Start, j.End, j.Energy, j.ModelEE, j.FreqChanges, bf)
+		pool := j.Pool
+		if pool == "" {
+			pool = "-"
+		}
+		fmt.Fprintf(&b, "%4d %-4s %-8s %-8s %4d %8.1f %9v %9v %9v %11v %7.4f %7d %2s\n",
+			j.ID, j.Vector.Name, pool, j.State, j.P, f, j.Arrival, j.Start, j.End, j.Energy, j.ModelEE, j.FreqChanges, bf)
 	}
 	return b.String()
 }

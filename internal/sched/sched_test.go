@@ -23,7 +23,7 @@ func epJob(id int, width int) Job {
 // Satellite edge case: a cap below even one parked node's idle power
 // must be rejected at construction — no spinning, no partial schedule.
 func TestCapBelowSingleNodeIdleRejected(t *testing.T) {
-	_, err := New(Config{Spec: testSpec(), Ranks: 1, Cap: 10})
+	_, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 1, Cap: 10})
 	if err == nil {
 		t.Fatal("cap below a single node's idle power must be rejected")
 	}
@@ -41,7 +41,7 @@ func TestInfeasibleJobsRejectedNotLooped(t *testing.T) {
 		t.Fatal(err)
 	}
 	floor := units.Watts(2 * float64(mpMin.PsysIdle))
-	s, err := New(Config{Spec: spec, Ranks: 2, Cap: floor + 1})
+	s, err := New(Config{Platform: machine.Homogeneous(spec), Ranks: 2, Cap: floor + 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestCapAdmitsExactlyOneJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	floor := units.Watts(2 * float64(mpMin.PsysIdle))
-	s, err := New(Config{Spec: spec, Ranks: 2, Cap: floor + 12, Policy: EEMax()})
+	s, err := New(Config{Platform: machine.Homogeneous(spec), Ranks: 2, Cap: floor + 12, Policy: EEMax()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestCapAdmitsExactlyOneJob(t *testing.T) {
 
 // An empty queue completes trivially.
 func TestEmptyQueue(t *testing.T) {
-	s, err := New(Config{Spec: testSpec(), Ranks: 4, Cap: 500})
+	s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 4, Cap: 500})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestEmptyQueue(t *testing.T) {
 // A job demanding more ranks than the cluster has is rejected, while
 // moldable jobs (MinWidth within the cluster) shrink to fit.
 func TestJobWiderThanCluster(t *testing.T) {
-	s, err := New(Config{Spec: testSpec(), Ranks: 4, Cap: 2000})
+	s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 4, Cap: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestJobWiderThanCluster(t *testing.T) {
 // schedule, bit for bit.
 func TestScheduleDeterministic(t *testing.T) {
 	run := func() Result {
-		s, err := New(Config{Spec: testSpec(), Ranks: 16, Cap: 900, Seed: 11})
+		s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 16, Cap: 900, Seed: 11})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +181,7 @@ func compareResults(t *testing.T, label string, a, b Result) {
 func TestLockstepMatchesPerRankChains(t *testing.T) {
 	trace := SyntheticTrace(TraceConfig{Jobs: 24, Seed: 11, MaxWidth: 8})
 	run := func(force bool) Result {
-		s, err := New(Config{Spec: testSpec(), Ranks: 16, Cap: 900, Policy: Backfill(EEMax()), Seed: 11})
+		s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 16, Cap: 900, Policy: Backfill(EEMax()), Seed: 11})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +201,7 @@ func TestNoisyScheduleDeterministic(t *testing.T) {
 	trace := SyntheticTrace(TraceConfig{Jobs: 16, Seed: 7, MaxWidth: 8})
 	run := func() Result {
 		s, err := New(Config{
-			Spec: testSpec(), Ranks: 16, Cap: 900, Seed: 7,
+			Platform: machine.Homogeneous(testSpec()), Ranks: 16, Cap: 900, Seed: 7,
 			Noise: cluster.DefaultNoise(), NoisyMeter: true,
 		})
 		if err != nil {
@@ -229,7 +229,7 @@ func TestTightCapBackfillNoPhantomViolations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 64-job trace")
 	}
-	s, err := New(Config{Spec: testSpec(), Ranks: 64, Cap: 2000, Policy: Backfill(EEMax()), Seed: 1})
+	s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 64, Cap: 2000, Policy: Backfill(EEMax()), Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestTightCapBackfillNoPhantomViolations(t *testing.T) {
 // evaluate them, and completed jobs are forgotten so the cache does not
 // grow with trace length.
 func TestOpCacheAbsorbsRepricing(t *testing.T) {
-	s, err := New(Config{Spec: testSpec(), Ranks: 16, Cap: 900, Policy: Backfill(EEMax()), Seed: 3})
+	s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 16, Cap: 900, Policy: Backfill(EEMax()), Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestPoliciesRespectCapAndEnergyBooks(t *testing.T) {
 		pols["backfill+"+name] = Backfill(pol)
 	}
 	for name, pol := range pols {
-		s, err := New(Config{Spec: testSpec(), Ranks: 16, Cap: 900, Policy: pol, Seed: 3})
+		s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 16, Cap: 900, Policy: pol, Seed: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -319,22 +319,22 @@ func TestPoliciesRespectCapAndEnergyBooks(t *testing.T) {
 // ladder until the predicted draw fits the cap, and stops at the floor.
 func TestGovernorThrottle(t *testing.T) {
 	spec := testSpec()
-	s, err := New(Config{Spec: spec, Ranks: 4, Cap: 2000})
+	s, err := New(Config{Platform: machine.Homogeneous(spec), Ranks: 4, Cap: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	j := epJob(0, 2)
 	e := &entry{job: j, res: JobResult{Job: j, State: Running}}
-	prof, ok := s.profileLadder(j, 2)
+	prof, ok := s.profileLadder(j, 0, 2)
 	if !ok {
 		t.Fatal("profileLadder failed")
 	}
-	top := len(s.ladder) - 1
+	top := len(s.pools[0].ladder) - 1
 	rj := &runningJob{e: e, ranks: []int{0, 1}, fIdx: top, admIdx: top, prof: prof}
-	s.freeRanks = []int{2, 3}
+	s.pools[0].free = []int{2, 3}
 	s.running = []*runningJob{rj}
 	for _, r := range rj.ranks {
-		if err := s.cl.SetRankFrequency(r, s.ladder[top]); err != nil {
+		if err := s.cl.SetRankFrequency(r, s.pools[0].ladder[top]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -384,7 +384,7 @@ func TestSyntheticTrace(t *testing.T) {
 // test cluster — the yardstick the starvation trace is built from.
 func narrowRuntime(t *testing.T, n float64) units.Seconds {
 	t.Helper()
-	s, err := New(Config{Spec: testSpec(), Ranks: 8, Cap: 2000})
+	s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 8, Cap: 2000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +422,7 @@ func TestBackfillBoundsWideJobStarvation(t *testing.T) {
 	r := narrowRuntime(t, 4e6)
 	trace := starvationTrace(r)
 	run := func(pol Policy) Result {
-		s, err := New(Config{Spec: testSpec(), Ranks: 8, Cap: 2000, Policy: pol, Seed: 5})
+		s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 8, Cap: 2000, Policy: pol, Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -475,7 +475,7 @@ func TestBackfillOn64JobTrace(t *testing.T) {
 	}
 	trace := SyntheticTrace(TraceConfig{Jobs: 64, Seed: 1})
 	run := func(pol Policy) Result {
-		s, err := New(Config{Spec: testSpec(), Ranks: 64, Cap: 2500, Policy: pol, Seed: 1})
+		s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 64, Cap: 2500, Policy: pol, Seed: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -502,7 +502,7 @@ func TestBackfillOn64JobTrace(t *testing.T) {
 // schedule, bit for bit — reservations included.
 func TestBackfillDeterministic(t *testing.T) {
 	run := func() Result {
-		s, err := New(Config{Spec: testSpec(), Ranks: 16, Cap: 900, Policy: Backfill(EEMax()), Seed: 11})
+		s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 16, Cap: 900, Policy: Backfill(EEMax()), Seed: 11})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -541,13 +541,13 @@ func TestBackfillWrapping(t *testing.T) {
 // benefit). Before the strict-improvement epsilon, equal predicted
 // energy counted as a gain and every sample retuned.
 func TestGovernorBoostFlatEnergyLadderNoChurn(t *testing.T) {
-	s, err := New(Config{Spec: testSpec(), Ranks: 4, Cap: 4000})
+	s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 4, Cap: 4000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	j := epJob(0, 2)
 	e := &entry{job: j, res: JobResult{Job: j, State: Running}}
-	n := len(s.ladder)
+	n := len(s.pools[0].ladder)
 	lp := &opcache.Row{
 		Pred: make([]core.Prediction, n),
 		Draw: make([]units.Watts, n),
@@ -560,7 +560,7 @@ func TestGovernorBoostFlatEnergyLadderNoChurn(t *testing.T) {
 	}
 	rj := &runningJob{e: e, ranks: []int{0, 1}, fIdx: 0, admIdx: 0, prof: lp}
 	s.running = []*runningJob{rj}
-	s.freeRanks = []int{2, 3}
+	s.pools[0].free = []int{2, 3}
 	s.queue = []*entry{{job: epJob(1, 1)}} // contended: not drain mode
 	s.blocked = true                       // loanable watts on offer
 	g := &governor{s: s}
@@ -575,21 +575,21 @@ func TestGovernorBoostFlatEnergyLadderNoChurn(t *testing.T) {
 // always promised. On equal priority and equal saving the higher-ID
 // job steps down first.
 func TestGovernorThrottleVictimTieBreak(t *testing.T) {
-	s, err := New(Config{Spec: testSpec(), Ranks: 4, Cap: 4000})
+	s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 4, Cap: 4000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	top := len(s.ladder) - 1
+	top := len(s.pools[0].ladder) - 1
 	mk := func(id int, ranks []int) *runningJob {
 		j := epJob(id, 2)
 		e := &entry{job: j, res: JobResult{Job: j, State: Running}}
-		prof, ok := s.profileLadder(j, 2)
+		prof, ok := s.profileLadder(j, 0, 2)
 		if !ok {
 			t.Fatal("profileLadder failed")
 		}
 		rj := &runningJob{e: e, ranks: ranks, fIdx: top, admIdx: top, prof: prof}
 		for _, r := range ranks {
-			if err := s.cl.SetRankFrequency(r, s.ladder[top]); err != nil {
+			if err := s.cl.SetRankFrequency(r, s.pools[0].ladder[top]); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -597,7 +597,7 @@ func TestGovernorThrottleVictimTieBreak(t *testing.T) {
 	}
 	a, b := mk(0, []int{0, 1}), mk(1, []int{2, 3})
 	s.running = []*runningJob{a, b}
-	s.freeRanks = nil
+	s.pools[0].free = nil
 	s.cfg.Cap = s.predictedTotal() - 1 // one step from either job suffices
 	g := &governor{s: s}
 	g.throttle()
@@ -608,7 +608,7 @@ func TestGovernorThrottleVictimTieBreak(t *testing.T) {
 
 // A scheduler is single-use.
 func TestSchedulerSingleUse(t *testing.T) {
-	s, err := New(Config{Spec: testSpec(), Ranks: 2, Cap: 500})
+	s, err := New(Config{Platform: machine.Homogeneous(testSpec()), Ranks: 2, Cap: 500})
 	if err != nil {
 		t.Fatal(err)
 	}

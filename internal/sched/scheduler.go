@@ -12,19 +12,28 @@ import (
 
 // Config describes one scheduling run.
 type Config struct {
-	// Spec is the homogeneous node type; the DVFS ladder it declares is
-	// the governor's actuation range.
-	Spec machine.Spec
-	// Ranks is the cluster size to provision (≤ Spec.Nodes, one rank
-	// per node as in the paper's per-processor energy model).
+	// Platform describes the node pools to schedule over — the classic
+	// homogeneous cluster is machine.Homogeneous(spec). Each pool's DVFS
+	// ladder is the governor's actuation range for the ranks it hosts,
+	// and a job always runs entirely within one pool (the model's
+	// parameter vector is per node type).
+	Platform machine.Platform
+	// Ranks provisions a prefix of the platform's global rank numbering
+	// (one rank per node as in the paper's per-processor energy model);
+	// zero means the whole platform.
 	Ranks int
 	// Cap is the whole-cluster power budget the schedule must respect.
 	Cap units.Watts
 	// Policy picks operating points at admission (default EEMax).
 	Policy Policy
-	// Interval is the governor/profiler sampling period; zero means
-	// 25 ms of virtual time.
+	// Interval is the governor/profiler sampling period; zero selects
+	// the 25 ms default and negative values are a configuration error.
 	Interval units.Seconds
+	// EdgeRetune additionally runs the governor's throttle/boost pass on
+	// every scheduling edge (admission and completion) instead of only
+	// on the sampling grid, cutting control latency. Off by default so
+	// existing schedules are unchanged.
+	EdgeRetune bool
 	// Noise perturbs execution like real hardware; the zero value keeps
 	// runs exactly reproducible (and the zero-violation guarantee
 	// exact).
@@ -41,6 +50,20 @@ type Config struct {
 	Seed int64
 }
 
+// poolState is the scheduler-side view of one platform node pool: its
+// spec and ladder, its share of the operating-point cache, and the free
+// ranks it currently holds.
+type poolState struct {
+	name    string
+	spec    machine.Spec
+	cache   *opcache.Cache
+	ladder  []units.Hertz
+	idleMin units.Watts // parked (ladder-minimum) idle power per rank
+	size    int         // provisioned ranks in this pool
+	free    []int       // sorted ascending; lowest ranks assigned first
+	scratch []int       // reusable merge buffer for finish
+}
+
 // Scheduler executes job traces on a simulated power-capped cluster.
 // Create one per Run.
 //
@@ -53,12 +76,15 @@ type Scheduler struct {
 	prof *power.Profiler
 	gov  *governor
 
-	// cache memoizes every model evaluation keyed (job ID, n, p, f):
-	// admission pricing, ladder profiles, the backfill shadow walk and
-	// the governor all read the same rows (internal/opcache).
-	cache   *opcache.Cache
-	ladder  []units.Hertz
-	idleMin units.Watts // parked (ladder-minimum) idle power per rank
+	// pools mirror Config.Platform.Pools; every candidate names the pool
+	// that priced it and rank assignment draws from that pool's free
+	// list.
+	pools []poolState
+
+	// cache memoizes every model evaluation keyed (pool, job ID, n, p,
+	// f): admission pricing, ladder profiles, the backfill shadow walk
+	// and the governor all read the same rows (internal/opcache).
+	cache *opcache.PlatformCache
 
 	// lockstep is set when execution noise is off: every rank of a job
 	// then has identical slice timing, so one kernel event advances the
@@ -66,14 +92,12 @@ type Scheduler struct {
 	// drives its own event chain (runRank).
 	lockstep bool
 
-	freeRanks   []int // sorted ascending; lowest ranks assigned first
-	rankScratch []int // reusable merge buffer for finish
-	owner       []*runningJob
-	meters      []rankMeter
+	owner  []*runningJob
+	meters []rankMeter
 
 	entries    map[int]*entry
-	refFastest map[int]map[int]units.Seconds // job ID → width → fastest Tp
-	queue      []*entry                      // arrived, waiting, arrival order
+	refFastest map[int]units.Seconds // job ID → unconstrained fastest Tp (-1: model failure)
+	queue      []*entry              // arrived, waiting, arrival order
 	running    []*runningJob
 	remaining  int // jobs not yet Done/Rejected
 
@@ -82,8 +106,8 @@ type Scheduler struct {
 	// spare watts are loanable to running jobs (governor boost).
 	blocked bool
 
-	// rsv is the active backfill reservation, if any: the ranks and
-	// watts the blocked queue head is promised at a model-predicted
+	// rsv is the active backfill reservation, if any: the per-pool ranks
+	// and watts the blocked queue head is promised at a model-predicted
 	// future start time (backfill.go). Recomputed on every admission
 	// pass; nil whenever the policy is not a Backfill wrapper or the
 	// head is startable. The governor consults it so boosts never loan
@@ -110,8 +134,9 @@ type entry struct {
 // runningJob is the execution state of one dispatched job.
 type runningJob struct {
 	e      *entry
+	pool   int // index into Scheduler.pools
 	ranks  []int
-	fIdx   int // current ladder index
+	fIdx   int // current index on the pool's ladder
 	admIdx int // ladder index admitted at
 	eeIdx  int // ladder index maximising model EE at this width
 	prof   *opcache.Row
@@ -156,19 +181,26 @@ type rankMeter struct {
 }
 
 // New validates the configuration and provisions the cluster with every
-// rank parked at the ladder minimum. A cap below the cluster's parked
-// idle floor is rejected outright: no schedule could avoid violating it.
+// rank parked at its pool's ladder minimum. A cap below the cluster's
+// parked idle floor is rejected outright: no schedule could avoid
+// violating it.
 func New(cfg Config) (*Scheduler, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = EEMax()
 	}
-	if cfg.Interval <= 0 {
+	if cfg.Interval < 0 {
+		return nil, fmt.Errorf("sched: sampling interval %v must not be negative", cfg.Interval)
+	}
+	if cfg.Interval == 0 {
 		cfg.Interval = 25 * units.Millisecond
 	}
-	if err := cfg.Spec.Validate(); err != nil {
+	if err := cfg.Platform.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.Ranks <= 0 {
+	if cfg.Ranks == 0 {
+		cfg.Ranks = cfg.Platform.TotalRanks()
+	}
+	if cfg.Ranks < 0 {
 		return nil, fmt.Errorf("sched: cluster size %d must be positive", cfg.Ranks)
 	}
 	if cfg.Cap <= 0 {
@@ -176,16 +208,16 @@ func New(cfg Config) (*Scheduler, error) {
 	}
 
 	cl, err := cluster.New(cluster.Config{
-		Spec:  cfg.Spec,
-		Freq:  cfg.Spec.MinFrequency(),
-		Ranks: cfg.Ranks,
-		Noise: cfg.Noise,
-		Seed:  cfg.Seed,
+		Platform:  cfg.Platform,
+		PoolFreqs: cfg.Platform.MinFrequencies(),
+		Ranks:     cfg.Ranks,
+		Noise:     cfg.Noise,
+		Seed:      cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-	cache, err := opcache.New(cfg.Spec)
+	cache, err := opcache.NewPlatform(cfg.Platform)
 	if err != nil {
 		return nil, err
 	}
@@ -194,35 +226,76 @@ func New(cfg Config) (*Scheduler, error) {
 		cfg:        cfg,
 		cl:         cl,
 		cache:      cache,
-		ladder:     cache.Ladder(),
 		lockstep:   cfg.Noise.ComputeJitter == 0 && cfg.Noise.MemoryJitter == 0,
 		owner:      make([]*runningJob, cfg.Ranks),
 		meters:     make([]rankMeter, cfg.Ranks),
 		entries:    make(map[int]*entry),
-		refFastest: make(map[int]map[int]units.Seconds),
+		refFastest: make(map[int]units.Seconds),
 	}
-	s.idleMin = cache.ParamsAt(0).PsysIdle
-
-	floor := units.Watts(float64(cfg.Ranks) * float64(s.idleMin))
+	s.pools = make([]poolState, len(cfg.Platform.Pools))
+	for i, np := range cfg.Platform.Pools {
+		pc := cache.Pool(i)
+		s.pools[i] = poolState{
+			name:    np.PoolName(),
+			spec:    np.Spec,
+			cache:   pc,
+			ladder:  pc.Ladder(),
+			idleMin: pc.ParamsAt(0).PsysIdle,
+		}
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		ps := &s.pools[cl.PoolOf(r)]
+		ps.free = append(ps.free, r)
+		ps.size++
+	}
+	var floor units.Watts
+	for i := range s.pools {
+		s.pools[i].scratch = make([]int, 0, s.pools[i].size)
+		floor += units.Watts(float64(s.pools[i].size) * float64(s.pools[i].idleMin))
+	}
 	if cfg.Cap < floor {
-		return nil, fmt.Errorf("sched: cap %v is below the cluster idle floor %v (%d ranks × %v parked idle) — no schedule can satisfy it",
-			cfg.Cap, floor, cfg.Ranks, s.idleMin)
+		return nil, fmt.Errorf("sched: cap %v is below the cluster idle floor %v (%d ranks parked at each pool's ladder minimum) — no schedule can satisfy it",
+			cfg.Cap, floor, cfg.Ranks)
 	}
-
-	s.freeRanks = make([]int, cfg.Ranks)
-	for i := range s.freeRanks {
-		s.freeRanks[i] = i
-	}
-	s.rankScratch = make([]int, 0, cfg.Ranks)
 	return s, nil
 }
 
+// freeByPool snapshots each pool's free-rank count.
+func (s *Scheduler) freeByPool() []int {
+	out := make([]int, len(s.pools))
+	for i := range s.pools {
+		out[i] = len(s.pools[i].free)
+	}
+	return out
+}
+
+// largestPool returns the biggest provisioned pool size — the widest any
+// single job can ever run, since rank sets never span pools.
+func (s *Scheduler) largestPool() int {
+	max := 0
+	for i := range s.pools {
+		if s.pools[i].size > max {
+			max = s.pools[i].size
+		}
+	}
+	return max
+}
+
+// ladderOf returns the DVFS ladder of the pool hosting a running job.
+func (s *Scheduler) ladderOf(rj *runningJob) []units.Hertz {
+	return s.pools[rj.pool].ladder
+}
+
 // predictedTotal is the model-side sustained cluster draw: parked idle
-// plus every running job's conservative draw at its current frequency.
-// The admission and governor invariants keep it ≤ Cap at all times,
-// which is what makes the measured trace respect the cap too.
+// (per pool, at that pool's ladder minimum) plus every running job's
+// conservative draw at its current frequency. The admission and
+// governor invariants keep it ≤ Cap at all times, which is what makes
+// the measured trace respect the cap too.
 func (s *Scheduler) predictedTotal() units.Watts {
-	total := units.Watts(float64(len(s.freeRanks)) * float64(s.idleMin))
+	var total units.Watts
+	for i := range s.pools {
+		total += units.Watts(float64(len(s.pools[i].free)) * float64(s.pools[i].idleMin))
+	}
 	for _, rj := range s.running {
 		total += rj.prof.Draw[rj.fIdx]
 	}
@@ -320,8 +393,8 @@ func (s *Scheduler) Run(jobs []Job) (Result, error) {
 
 // arrive runs in kernel context at a job's arrival time.
 func (s *Scheduler) arrive(e *entry) {
-	if e.job.minWidth() > s.cl.Ranks() {
-		s.reject(e, fmt.Sprintf("needs %d ranks, cluster has %d", e.job.minWidth(), s.cl.Ranks()))
+	if e.job.minWidth() > s.largestPool() {
+		s.reject(e, fmt.Sprintf("needs %d ranks, largest pool has %d", e.job.minWidth(), s.largestPool()))
 		return
 	}
 	s.queue = append(s.queue, e)
@@ -342,11 +415,18 @@ func (s *Scheduler) reject(e *entry, reason string) {
 // rule — waiting cannot improve an idle cluster's headroom, so a slow
 // point now beats queueing forever. Jobs the relaxed pass still cannot
 // place are infeasible under this cap and are rejected — never spun on.
+//
+// Every exit path is a scheduling edge: with Config.EdgeRetune the
+// governor's control pass runs here too, so completions and admissions
+// retune immediately instead of waiting for the next profiler sample.
 func (s *Scheduler) tryAdmit() {
 	// Every scheduling edge invalidates the previous pass's reservation;
 	// a Backfill policy re-derives it from the fresh cluster state.
 	s.rsv = nil
-	defer func() { s.blocked = len(s.queue) > 0 }()
+	defer func() {
+		s.blocked = len(s.queue) > 0
+		s.edgeRetune()
+	}()
 	if len(s.queue) == 0 {
 		return
 	}
@@ -365,13 +445,28 @@ func (s *Scheduler) tryAdmit() {
 	}
 }
 
+// edgeRetune is the event-driven governor satellite: at a scheduling
+// edge, run the same throttle/boost pass the sampling grid runs, so
+// freed watts reach running jobs (and overruns shed) with zero control
+// latency. Gated behind Config.EdgeRetune; the sampling-grid pass still
+// runs as the audit heartbeat.
+func (s *Scheduler) edgeRetune() {
+	if !s.cfg.EdgeRetune || s.gov == nil || !s.cfg.Policy.DVFS() {
+		return
+	}
+	s.gov.throttle()
+	if len(s.running) > 0 {
+		s.gov.boost()
+	}
+}
+
 // admitPass runs one policy admission round; it returns how many jobs
 // were started.
 func (s *Scheduler) admitPass(relaxed bool) int {
 	ctx := &AdmitContext{
 		s:        s,
 		now:      s.cl.Kernel().Now(),
-		free:     len(s.freeRanks),
+		free:     s.freeByPool(),
 		headroom: s.headroom(),
 		taken:    make(map[int]bool),
 		relaxed:  relaxed,
@@ -397,22 +492,24 @@ func (s *Scheduler) admitPass(relaxed bool) int {
 	return len(ctx.admitted)
 }
 
-// start dispatches a job onto the lowest free ranks at the candidate
-// operating point and launches its event-driven execution.
+// start dispatches a job onto the lowest free ranks of the candidate's
+// pool at the candidate operating point and launches its event-driven
+// execution.
 func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool) {
 	now := s.cl.Kernel().Now()
 	j := e.job
-	prof, ok := s.profileLadder(j, cand.P)
+	ps := &s.pools[cand.Pool]
+	prof, ok := s.profileLadder(j, cand.Pool, cand.P)
 	if !ok {
 		s.reject(e, "model evaluation failed at admission")
 		return
 	}
-	ranks := append([]int(nil), s.freeRanks[:cand.P]...)
-	s.freeRanks = s.freeRanks[cand.P:]
+	ranks := append([]int(nil), ps.free[:cand.P]...)
+	ps.free = ps.free[cand.P:]
 
-	fi := s.ladderIndex(cand.Freq)
+	fi := ps.cache.LadderIndex(cand.Freq)
 	w := prof.W
-	mp := s.cache.ParamsAt(fi)
+	mp := ps.cache.ParamsAt(fi)
 	perOn := (w.WOn + w.DWOn) / float64(cand.P)
 	perOff := (w.WOff + w.DWOff) / float64(cand.P)
 	perComm := units.Seconds((w.M*float64(mp.Ts) + w.B*float64(mp.Tb)) / float64(cand.P))
@@ -433,6 +530,7 @@ func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool) {
 	}
 	rj := &runningJob{
 		e:         e,
+		pool:      cand.Pool,
 		ranks:     ranks,
 		fIdx:      fi,
 		admIdx:    fi,
@@ -456,6 +554,7 @@ func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool) {
 	s.running = append(s.running, rj)
 
 	e.res.State = Running
+	e.res.Pool = ps.name
 	e.res.P = cand.P
 	e.res.StartFreq = cand.Freq
 	e.res.Start = now
@@ -547,17 +646,19 @@ func advancePhase(slice *int, inComm *bool, sliceComm units.Seconds, slices int)
 }
 
 // finish runs in the completion event of a job's last phase: bank its
-// energy, park its ranks, and give the policy the freed capacity.
+// energy, park its ranks at their pool's ladder minimum, and give the
+// policy the freed capacity.
 func (s *Scheduler) finish(rj *runningJob) {
 	now := s.cl.Kernel().Now()
+	park := s.ladderOf(rj)[0]
 	for _, r := range rj.ranks {
 		rj.energy += s.bankMeter(r)
-		if err := s.cl.SetRankFrequency(r, s.ladder[0]); err != nil {
+		if err := s.cl.SetRankFrequency(r, park); err != nil {
 			panic(fmt.Sprintf("sched: park rank %d: %v", r, err))
 		}
 		s.owner[r] = nil
 	}
-	s.releaseRanks(rj.ranks)
+	s.releaseRanks(rj.pool, rj.ranks)
 
 	for i, other := range s.running {
 		if other == rj {
@@ -577,25 +678,27 @@ func (s *Scheduler) finish(rj *runningJob) {
 	s.tryAdmit()
 }
 
-// releaseRanks merges a finished job's rank set back into the free list.
-// Both lists are sorted ascending (rank sets are taken as prefixes of the
-// sorted free list), so a single two-pointer merge restores the invariant
-// in O(free+width) — finish used to re-sort the whole free list instead.
-func (s *Scheduler) releaseRanks(ranks []int) {
-	merged := s.rankScratch[:0]
+// releaseRanks merges a finished job's rank set back into its pool's
+// free list. Both lists are sorted ascending (rank sets are taken as
+// prefixes of the sorted free list), so a single two-pointer merge
+// restores the invariant in O(free+width) — finish used to re-sort the
+// whole free list instead.
+func (s *Scheduler) releaseRanks(pool int, ranks []int) {
+	ps := &s.pools[pool]
+	merged := ps.scratch[:0]
 	i, j := 0, 0
-	for i < len(s.freeRanks) && j < len(ranks) {
-		if s.freeRanks[i] < ranks[j] {
-			merged = append(merged, s.freeRanks[i])
+	for i < len(ps.free) && j < len(ranks) {
+		if ps.free[i] < ranks[j] {
+			merged = append(merged, ps.free[i])
 			i++
 		} else {
 			merged = append(merged, ranks[j])
 			j++
 		}
 	}
-	merged = append(merged, s.freeRanks[i:]...)
+	merged = append(merged, ps.free[i:]...)
 	merged = append(merged, ranks[j:]...)
 	// Swap buffers: the old free list becomes the next merge's scratch.
-	s.rankScratch = s.freeRanks[:0]
-	s.freeRanks = merged
+	ps.scratch = ps.free[:0]
+	ps.free = merged
 }
