@@ -25,10 +25,23 @@
 // the policies place every job entirely within one pool (ee-max picks
 // the EE-best pool, fifo the lowest-ranked pool that fits).
 //
+// The cap can be a timeline instead of a constant: -capplan takes
+// "start:watts" windows ("0:2500,2:1500,4:2500" squeezes the budget
+// mid-trace — a demand-response event), -capfile reads the same
+// timeline from a t_s,cap_w CSV (an externally logged tariff or carbon
+// trace), and -capdump writes the active timeline back out as CSV, so
+// an exported plan re-imports to the identical schedule. Plan runs
+// print a per-window table: energy, mean draw, cap utilisation and
+// violations inside every budget window.
+//
+// -reserve K holds EASY reservations for the first K blocked jobs
+// (conservative multi-reservation backfill; K > 1 implies -backfill).
+//
 // Usage:
 //
 //	schedrun -jobs 64 -cap 2500 [-ranks 64] [-cluster systemg:32,dori:32]
-//	         [-policy all] [-backfill] [-detail] [-edge]
+//	         [-capplan 0:2500,3600:1500 | -capfile plan.csv] [-capdump out.csv]
+//	         [-policy all] [-backfill] [-reserve K] [-detail] [-edge]
 //	         [-repeat N] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -41,6 +54,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/capplan"
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/units"
@@ -51,8 +65,12 @@ func main() {
 	cap := flag.Float64("cap", 2500, "cluster power cap in watts")
 	ranks := flag.Int("ranks", 64, "cluster size in ranks (ignored when -cluster lists explicit pool sizes)")
 	clusterName := flag.String("cluster", "systemg", "platform: a preset (systemg, dori) or mixed pools like systemg:32,dori:32")
+	capPlan := flag.String("capplan", "", "time-varying cap plan as start:watts windows, e.g. 0:2500,3600:1500,7200:2500 (excludes -cap)")
+	capFile := flag.String("capfile", "", "read the cap plan from a t_s,cap_w CSV file (excludes -cap and -capplan)")
+	capDump := flag.String("capdump", "", "write the active cap plan to this CSV file (requires -capplan or -capfile)")
 	policy := flag.String("policy", "all", "policy to run: fifo, ee-max, fair-share, backfill+<name>, or all")
 	backfill := flag.Bool("backfill", false, "wrap every selected policy in EASY backfill reservations")
+	reserve := flag.Int("reserve", 1, "hold backfill reservations for the first K blocked jobs (K>1 implies -backfill)")
 	seed := flag.Int64("seed", 1, "trace and simulation seed")
 	interval := flag.Float64("interval", 0, "governor sampling interval in seconds (0 = the 25ms default; negative is rejected)")
 	edge := flag.Bool("edge", false, "retune on admission/completion edges in addition to the sampling grid")
@@ -67,6 +85,49 @@ func main() {
 	if *interval < 0 {
 		fmt.Fprintf(os.Stderr, "-interval %g is negative; pass 0 for the 25 ms default or a positive period\n", *interval)
 		os.Exit(2)
+	}
+	if *reserve < 1 {
+		fmt.Fprintf(os.Stderr, "-reserve %d must be at least 1\n", *reserve)
+		os.Exit(2)
+	}
+
+	var plan *capplan.Plan
+	switch {
+	case *capPlan != "" && *capFile != "":
+		fmt.Fprintln(os.Stderr, "-capplan and -capfile are mutually exclusive")
+		os.Exit(2)
+	case *capPlan != "":
+		p, err := capplan.ParsePlan(*capPlan)
+		exitOn(err)
+		plan = p
+	case *capFile != "":
+		f, err := os.Open(*capFile)
+		exitOn(err)
+		p, err := capplan.ReadCSV(f)
+		f.Close()
+		exitOn(err)
+		plan = p
+	}
+	if plan != nil {
+		capSet := false
+		flag.Visit(func(f *flag.Flag) { capSet = capSet || f.Name == "cap" })
+		if capSet {
+			fmt.Fprintln(os.Stderr, "-cap cannot combine with a cap plan; put the constant in the plan's first window instead")
+			os.Exit(2)
+		}
+	}
+	if *capDump != "" {
+		if plan == nil {
+			fmt.Fprintln(os.Stderr, "-capdump needs -capplan or -capfile")
+			os.Exit(2)
+		}
+		f, err := os.Create(*capDump)
+		exitOn(err)
+		err = plan.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		exitOn(err)
 	}
 
 	platform, err := machine.ParsePlatform(*clusterName)
@@ -116,9 +177,9 @@ func main() {
 		}
 		policies = []sched.Policy{p}
 	}
-	if *backfill {
+	if *backfill || *reserve > 1 {
 		for i, p := range policies {
-			policies[i] = sched.Backfill(p)
+			policies[i] = sched.BackfillN(p, *reserve)
 		}
 	}
 
@@ -128,8 +189,13 @@ func main() {
 	if shownRanks == 0 {
 		shownRanks = platform.TotalRanks()
 	}
-	fmt.Printf("trace: %d jobs on %s/%d ranks under a %.0f W cap (seed %d)\n\n",
-		*jobs, platform, shownRanks, *cap, *seed)
+	if plan != nil {
+		fmt.Printf("trace: %d jobs on %s/%d ranks under cap plan %s (seed %d)\n\n",
+			*jobs, platform, shownRanks, plan, *seed)
+	} else {
+		fmt.Printf("trace: %d jobs on %s/%d ranks under a %.0f W cap (seed %d)\n\n",
+			*jobs, platform, shownRanks, *cap, *seed)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -143,15 +209,20 @@ func main() {
 	for _, pol := range policies {
 		var res sched.Result
 		for r := 0; r < *repeat; r++ {
-			s, err := sched.New(sched.Config{
+			cfg := sched.Config{
 				Platform:   platform,
 				Ranks:      clusterRanks,
-				Cap:        units.Watts(*cap),
 				Policy:     pol,
 				Interval:   units.Seconds(*interval),
 				EdgeRetune: *edge,
 				Seed:       *seed,
-			})
+			}
+			if plan != nil {
+				cfg.Plan = plan
+			} else {
+				cfg.Cap = units.Watts(*cap)
+			}
+			s, err := sched.New(cfg)
 			exitOn(err)
 			res, err = s.Run(trace)
 			exitOn(err)
@@ -171,6 +242,12 @@ func main() {
 	}
 
 	fmt.Print(sched.ComparisonTable(results))
+	if plan != nil {
+		for _, r := range results {
+			fmt.Printf("\nbudget windows — %s (cap utilisation %.1f%%):\n%s",
+				r.Policy, r.CapUtilisation*100, r.WindowTable())
+		}
+	}
 	for _, r := range results {
 		if r.CapViolations > 0 {
 			fmt.Printf("\nWARNING: %s exceeded the cap in %d of %d samples\n", r.Policy, r.CapViolations, r.Samples)

@@ -1,0 +1,348 @@
+// Package capplan describes time-varying power budgets: piecewise-
+// constant cap timelines a power-constrained cluster schedules under.
+//
+// The paper studies computation under a *fixed* power constraint, but
+// real power-constrained clusters run under budgets that move — utility
+// demand-response windows, diurnal price signals, carbon-intensity
+// curves. A Plan is the timeline contract the scheduler consumes: a
+// sorted list of (start, watts) segments, the first at t = 0, each cap
+// holding until the next breakpoint and the last holding forever.
+//
+// Constructors cover the common sources: Constant (the paper's fixed
+// cap), Steps (explicit demand-response windows), Diurnal (a day-shaped
+// squeeze sampled onto a step grid), and FromSignal (an external price
+// or carbon-intensity series mapped to watts through a budget rule).
+// ParsePlan/String and ReadCSV/WriteCSV round-trip plans through CLI
+// flags and trace files.
+//
+// The scheduler-facing queries are CapAt (the instantaneous budget, the
+// violation audit's reference), MinOver (the minimum cap across a time
+// span — the admission rule charges a job's power envelope against the
+// minimum over its predicted lifetime), and the breakpoint iterator
+// Next/Breakpoints (cap edges are scheduling edges: the governor
+// throttles ahead of a drop and re-admits on a rise).
+package capplan
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Segment is one piecewise-constant window of a Plan: the cap in force
+// from Start until the next segment's start (or forever, for the last).
+type Segment struct {
+	Start units.Seconds
+	Cap   units.Watts
+}
+
+// Plan is an immutable piecewise-constant power-budget timeline. The
+// zero Plan is invalid; build one with a constructor.
+type Plan struct {
+	segs []Segment
+}
+
+// Steps builds a plan from explicit segments — demand-response windows.
+// Segments must start at t = 0, strictly ascend, and carry positive
+// caps.
+func Steps(segs ...Segment) (*Plan, error) {
+	p := &Plan{segs: append([]Segment(nil), segs...)}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Constant wraps the paper's fixed power constraint as a one-segment
+// plan. It panics on a non-positive cap (the scheduler rejects those
+// anyway).
+func Constant(w units.Watts) *Plan {
+	p, err := Steps(Segment{Start: 0, Cap: w})
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// diurnalSteps is the grid Diurnal samples one period onto: one window
+// per simulated "hour".
+const diurnalSteps = 24
+
+// Diurnal builds a day-shaped budget over one period sampled onto a
+// 24-step grid: the cap starts at base ("midnight"), dips to base−swing
+// at period/2 ("midday", when prices and carbon intensity peak), and
+// recovers by the period's end, after which the final window's cap
+// holds. Each window carries the curve's value at its midpoint.
+func Diurnal(base, swing units.Watts, period units.Seconds) (*Plan, error) {
+	if swing < 0 {
+		return nil, fmt.Errorf("capplan: negative swing %v", swing)
+	}
+	if base-swing <= 0 {
+		return nil, fmt.Errorf("capplan: swing %v leaves no budget under base %v", swing, base)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("capplan: period %v must be positive", period)
+	}
+	segs := make([]Segment, diurnalSteps)
+	for i := range segs {
+		mid := (float64(i) + 0.5) / diurnalSteps
+		dip := math.Sin(math.Pi * mid)
+		segs[i] = Segment{
+			Start: units.Seconds(float64(i) / diurnalSteps * float64(period)),
+			Cap:   base - units.Watts(float64(swing)*dip*dip),
+		}
+	}
+	return Steps(segs...)
+}
+
+// Sample is one point of an external signal — an electricity price or a
+// grid carbon intensity — at a time offset.
+type Sample struct {
+	T     units.Seconds
+	Value float64
+}
+
+// BudgetRule maps one signal value to a power budget, given the
+// signal's observed range [lo, hi] — how a site turns prices or carbon
+// intensity into watts.
+type BudgetRule func(v, lo, hi float64) units.Watts
+
+// LinearBudget is the proportional demand-response rule: the signal's
+// highest value maps to minCap, its lowest to maxCap, linearly in
+// between. A flat signal maps to the midpoint.
+func LinearBudget(minCap, maxCap units.Watts) BudgetRule {
+	return func(v, lo, hi float64) units.Watts {
+		if hi <= lo {
+			return (minCap + maxCap) / 2
+		}
+		frac := (v - lo) / (hi - lo)
+		return maxCap - units.Watts(frac*float64(maxCap-minCap))
+	}
+}
+
+// FromSignal converts an external series (prices, carbon intensity)
+// into a budget timeline: each sample opens a window whose cap is the
+// budget rule applied to its value. Samples must start at t = 0 and
+// strictly ascend.
+func FromSignal(signal []Sample, budget BudgetRule) (*Plan, error) {
+	if len(signal) == 0 {
+		return nil, errors.New("capplan: empty signal")
+	}
+	if budget == nil {
+		return nil, errors.New("capplan: nil budget rule")
+	}
+	lo, hi := signal[0].Value, signal[0].Value
+	for _, s := range signal[1:] {
+		lo, hi = math.Min(lo, s.Value), math.Max(hi, s.Value)
+	}
+	segs := make([]Segment, len(signal))
+	for i, s := range signal {
+		segs[i] = Segment{Start: s.T, Cap: budget(s.Value, lo, hi)}
+	}
+	return Steps(segs...)
+}
+
+// Validate checks the timeline invariants every query relies on: at
+// least one segment, the first at t = 0, starts strictly ascending,
+// caps positive.
+func (p *Plan) Validate() error {
+	if p == nil || len(p.segs) == 0 {
+		return errors.New("capplan: plan has no segments")
+	}
+	if p.segs[0].Start != 0 {
+		return fmt.Errorf("capplan: plan must start at t=0, got %v", p.segs[0].Start)
+	}
+	for i, sg := range p.segs {
+		if sg.Cap <= 0 {
+			return fmt.Errorf("capplan: segment %d cap %v must be positive", i, sg.Cap)
+		}
+		if i > 0 && sg.Start <= p.segs[i-1].Start {
+			return fmt.Errorf("capplan: segment %d start %v does not ascend past %v", i, sg.Start, p.segs[i-1].Start)
+		}
+	}
+	return nil
+}
+
+// index returns the segment in force at time t (times before the plan
+// clamp to the first segment).
+func (p *Plan) index(t units.Seconds) int {
+	// The first segment whose start exceeds t ends the search.
+	i := sort.Search(len(p.segs), func(i int) bool { return p.segs[i].Start > t })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// CapAt returns the budget in force at time t — the reference the
+// violation audit compares each power sample against.
+func (p *Plan) CapAt(t units.Seconds) units.Watts {
+	return p.segs[p.index(t)].Cap
+}
+
+// MinOver returns the minimum cap anywhere in [t0, t1] (inclusive of
+// both ends; a reversed interval collapses to CapAt(t0)). Admission
+// charges a job's conservative power envelope against the minimum over
+// its predicted lifetime, so a job never straddles a budget window it
+// cannot fit.
+func (p *Plan) MinOver(t0, t1 units.Seconds) units.Watts {
+	min := p.segs[p.index(t0)].Cap
+	for i := p.index(t0) + 1; i < len(p.segs) && p.segs[i].Start <= t1; i++ {
+		if p.segs[i].Cap < min {
+			min = p.segs[i].Cap
+		}
+	}
+	return min
+}
+
+// MaxFrom returns the highest cap anywhere on the timeline from time t
+// on — the best budget a waiting job could ever see. A scheduler
+// compares it against the budget in force to decide whether waiting for
+// a breakpoint can beat a degraded admission now.
+func (p *Plan) MaxFrom(t units.Seconds) units.Watts {
+	i := p.index(t)
+	max := p.segs[i].Cap
+	for _, sg := range p.segs[i+1:] {
+		if sg.Cap > max {
+			max = sg.Cap
+		}
+	}
+	return max
+}
+
+// MinCap returns the lowest cap anywhere on the timeline.
+func (p *Plan) MinCap() units.Watts {
+	min := p.segs[0].Cap
+	for _, sg := range p.segs[1:] {
+		if sg.Cap < min {
+			min = sg.Cap
+		}
+	}
+	return min
+}
+
+// MaxCap returns the highest cap anywhere on the timeline.
+func (p *Plan) MaxCap() units.Watts {
+	max := p.segs[0].Cap
+	for _, sg := range p.segs[1:] {
+		if sg.Cap > max {
+			max = sg.Cap
+		}
+	}
+	return max
+}
+
+// End returns the start of the final segment — after it the cap is
+// constant forever, so a scheduler that cannot place a job beyond End
+// never will.
+func (p *Plan) End() units.Seconds { return p.segs[len(p.segs)-1].Start }
+
+// Segments returns a copy of the timeline.
+func (p *Plan) Segments() []Segment { return append([]Segment(nil), p.segs...) }
+
+// Breakpoints returns the times at which the cap changes (every segment
+// start after t = 0).
+func (p *Plan) Breakpoints() []units.Seconds {
+	bps := make([]units.Seconds, 0, len(p.segs)-1)
+	for _, sg := range p.segs[1:] {
+		bps = append(bps, sg.Start)
+	}
+	return bps
+}
+
+// Next iterates breakpoints: it returns the first cap change strictly
+// after t and the cap that takes force there, or ok = false when the
+// timeline is flat from t on.
+func (p *Plan) Next(t units.Seconds) (at units.Seconds, cap units.Watts, ok bool) {
+	i := p.index(t) + 1
+	if i >= len(p.segs) {
+		return 0, 0, false
+	}
+	return p.segs[i].Start, p.segs[i].Cap, true
+}
+
+// String renders the timeline in the "start:watts,start:watts" form
+// ParsePlan accepts, e.g. "0:2500,3600:1500,7200:2500".
+func (p *Plan) String() string {
+	parts := make([]string, len(p.segs))
+	for i, sg := range p.segs {
+		parts[i] = fmt.Sprintf("%g:%g", float64(sg.Start), float64(sg.Cap))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan builds a plan from a comma-separated "start:watts" list,
+// e.g. "0:2500,3600:1500,7200:2500" — a 2500 W budget squeezed to
+// 1500 W between hours one and two.
+func ParsePlan(s string) (*Plan, error) {
+	var segs []Segment
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("capplan: empty segment in plan %q", s)
+		}
+		startStr, capStr, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("capplan: segment %q is not start:watts", part)
+		}
+		start, err := strconv.ParseFloat(strings.TrimSpace(startStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("capplan: bad start in segment %q: %v", part, err)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(capStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("capplan: bad watts in segment %q: %v", part, err)
+		}
+		segs = append(segs, Segment{Start: units.Seconds(start), Cap: units.Watts(w)})
+	}
+	return Steps(segs...)
+}
+
+// WriteCSV emits the timeline as "t_s,cap_w" rows — the external-trace
+// interchange format ReadCSV accepts back.
+func (p *Plan) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t_s,cap_w"); err != nil {
+		return err
+	}
+	for _, sg := range p.segs {
+		if _, err := fmt.Fprintf(w, "%g,%g\n", float64(sg.Start), float64(sg.Cap)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCSV parses a "t_s,cap_w" trace (header optional) into a plan —
+// the import path for externally logged budget or tariff series.
+func ReadCSV(r io.Reader) (*Plan, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	cr.TrimLeadingSpace = true
+	var segs []Segment
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("capplan: reading plan CSV: %w", err)
+		}
+		if len(segs) == 0 && strings.EqualFold(strings.TrimSpace(rec[0]), "t_s") {
+			continue // header row
+		}
+		start, err0 := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		w, err1 := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+		if err0 != nil || err1 != nil {
+			return nil, fmt.Errorf("capplan: bad plan CSV row %q", strings.Join(rec, ","))
+		}
+		segs = append(segs, Segment{Start: units.Seconds(start), Cap: units.Watts(w)})
+	}
+	return Steps(segs...)
+}

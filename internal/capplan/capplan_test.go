@@ -1,0 +1,270 @@
+package capplan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func steps(t *testing.T, segs ...Segment) *Plan {
+	t.Helper()
+	p, err := Steps(segs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The demand-response squeeze every scheduler test leans on: 2500 W,
+// dropped to 1500 W for the second hour.
+func squeeze(t *testing.T) *Plan {
+	return steps(t,
+		Segment{Start: 0, Cap: 2500},
+		Segment{Start: 3600, Cap: 1500},
+		Segment{Start: 7200, Cap: 2500},
+	)
+}
+
+func TestCapAt(t *testing.T) {
+	p := squeeze(t)
+	cases := []struct {
+		t    units.Seconds
+		want units.Watts
+	}{
+		{-5, 2500}, // before the plan clamps to the first window
+		{0, 2500},
+		{3599.999, 2500},
+		{3600, 1500}, // a breakpoint takes force at its own instant
+		{7199, 1500},
+		{7200, 2500},
+		{1e9, 2500}, // the last window holds forever
+	}
+	for _, c := range cases {
+		if got := p.CapAt(c.t); got != c.want {
+			t.Errorf("CapAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestMinOver(t *testing.T) {
+	p := squeeze(t)
+	cases := []struct {
+		t0, t1 units.Seconds
+		want   units.Watts
+	}{
+		{0, 100, 2500},       // entirely inside the first window
+		{0, 3600, 1500},      // inclusive right end sees the drop
+		{0, 3599.9, 2500},    // … but not before the breakpoint
+		{3600, 7000, 1500},   // inside the squeeze
+		{3000, 8000, 1500},   // spanning the squeeze
+		{7200, 1e6, 2500},    // after recovery, forever
+		{5000, 4000, 1500},   // reversed interval collapses to CapAt(t0)
+		{100000, 1e9, 2500},  // beyond the plan
+		{-10, 0.0001, 2500},  // clamped start
+		{3599, 3600.0, 1500}, // boundary again
+	}
+	for _, c := range cases {
+		if got := p.MinOver(c.t0, c.t1); got != c.want {
+			t.Errorf("MinOver(%v, %v) = %v, want %v", c.t0, c.t1, got, c.want)
+		}
+	}
+}
+
+func TestConstantAndExtremes(t *testing.T) {
+	p := Constant(2000)
+	if p.CapAt(0) != 2000 || p.CapAt(1e9) != 2000 || p.MinOver(0, 1e9) != 2000 {
+		t.Fatal("constant plan must be flat")
+	}
+	if len(p.Breakpoints()) != 0 || p.End() != 0 {
+		t.Fatal("constant plan has no breakpoints")
+	}
+	sq := squeeze(t)
+	if sq.MinCap() != 1500 || sq.MaxCap() != 2500 {
+		t.Fatalf("extremes: min %v max %v", sq.MinCap(), sq.MaxCap())
+	}
+}
+
+func TestMaxFrom(t *testing.T) {
+	// A plan that only decays: the best remaining budget shrinks as
+	// windows pass.
+	p := steps(t,
+		Segment{Start: 0, Cap: 2500},
+		Segment{Start: 10, Cap: 1500},
+		Segment{Start: 20, Cap: 2000},
+	)
+	cases := []struct {
+		t    units.Seconds
+		want units.Watts
+	}{
+		{0, 2500},
+		{10, 2000},  // the 2500 W window is behind us
+		{15, 2000},  // mid-squeeze, recovery ahead
+		{20, 2000},  // flat forever
+		{1e6, 2000}, // beyond the plan
+		{-5, 2500},  // clamped
+	}
+	for _, c := range cases {
+		if got := p.MaxFrom(c.t); got != c.want {
+			t.Errorf("MaxFrom(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestBreakpointIterator(t *testing.T) {
+	p := squeeze(t)
+	bps := p.Breakpoints()
+	if len(bps) != 2 || bps[0] != 3600 || bps[1] != 7200 {
+		t.Fatalf("breakpoints %v", bps)
+	}
+	at, cap, ok := p.Next(0)
+	if !ok || at != 3600 || cap != 1500 {
+		t.Fatalf("Next(0) = %v %v %v", at, cap, ok)
+	}
+	// A breakpoint's own instant already carries the new cap, so the next
+	// change is the following one.
+	at, cap, ok = p.Next(3600)
+	if !ok || at != 7200 || cap != 2500 {
+		t.Fatalf("Next(3600) = %v %v %v", at, cap, ok)
+	}
+	if _, _, ok := p.Next(7200); ok {
+		t.Fatal("no breakpoint after the final segment")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := [][]Segment{
+		{},                      // empty
+		{{Start: 10, Cap: 100}}, // does not start at 0
+		{{Start: 0, Cap: 0}},    // non-positive cap
+		{{Start: 0, Cap: 100}, {Start: 0, Cap: 90}},  // non-ascending
+		{{Start: 0, Cap: 100}, {Start: -1, Cap: 90}}, // descending
+	}
+	for i, segs := range bad {
+		if _, err := Steps(segs...); err == nil {
+			t.Errorf("case %d: invalid plan accepted: %v", i, segs)
+		}
+	}
+	var nilPlan *Plan
+	if nilPlan.Validate() == nil {
+		t.Error("nil plan must not validate")
+	}
+}
+
+func TestDiurnal(t *testing.T) {
+	p, err := Diurnal(2500, 1000, 86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := p.Segments()
+	if len(segs) != diurnalSteps {
+		t.Fatalf("want %d windows, got %d", diurnalSteps, len(segs))
+	}
+	// Midnight stays near base, midday dips toward base−swing, and every
+	// window stays inside [base−swing, base].
+	if float64(segs[0].Cap) < 2490 {
+		t.Fatalf("midnight window %v should sit near the base", segs[0].Cap)
+	}
+	mid := segs[diurnalSteps/2].Cap
+	if float64(mid) > 1510 {
+		t.Fatalf("midday window %v should dip toward base−swing", mid)
+	}
+	for i, sg := range segs {
+		if sg.Cap < 1500 || sg.Cap > 2500 {
+			t.Fatalf("window %d cap %v outside [1500, 2500]", i, sg.Cap)
+		}
+	}
+	if _, err := Diurnal(1000, 1000, 3600); err == nil {
+		t.Fatal("swing that zeroes the budget must be rejected")
+	}
+	if _, err := Diurnal(1000, 100, 0); err == nil {
+		t.Fatal("non-positive period must be rejected")
+	}
+}
+
+func TestFromSignal(t *testing.T) {
+	// A price series peaking in the middle: the budget rule inverts it.
+	signal := []Sample{
+		{T: 0, Value: 20},
+		{T: 100, Value: 80},
+		{T: 200, Value: 50},
+	}
+	p, err := FromSignal(signal, LinearBudget(1000, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CapAt(0); got != 3000 {
+		t.Fatalf("cheapest window should get the full budget, got %v", got)
+	}
+	if got := p.CapAt(100); got != 1000 {
+		t.Fatalf("priciest window should get the floor, got %v", got)
+	}
+	if got := p.CapAt(200); got != 2000 {
+		t.Fatalf("midpoint price maps halfway, got %v", got)
+	}
+	// A flat signal carries no relative pressure: midpoint budget.
+	flat, err := FromSignal([]Sample{{T: 0, Value: 7}}, LinearBudget(1000, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flat.CapAt(0); got != 2000 {
+		t.Fatalf("flat signal maps to the midpoint, got %v", got)
+	}
+	if _, err := FromSignal(nil, LinearBudget(1, 2)); err == nil {
+		t.Fatal("empty signal must be rejected")
+	}
+	if _, err := FromSignal(signal, nil); err == nil {
+		t.Fatal("nil budget rule must be rejected")
+	}
+}
+
+func TestParseAndStringRoundTrip(t *testing.T) {
+	p, err := ParsePlan("0:2500,3600:1500,7200:2500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "0:2500,3600:1500,7200:2500" {
+		t.Fatalf("String() = %q", got)
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != p.String() {
+		t.Fatalf("round trip mutated the plan: %q vs %q", back.String(), p.String())
+	}
+	for _, bad := range []string{"", "10:100", "0:100,abc", "0:0", "0:100,50", "0:100,,200:50"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	p := squeeze(t)
+	var b strings.Builder
+	if err := p.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != p.String() {
+		t.Fatalf("CSV round trip mutated the plan: %q vs %q", back.String(), p.String())
+	}
+	// Headerless files parse too.
+	noHeader, err := ReadCSV(strings.NewReader("0,900\n10,650\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noHeader.String() != "0:900,10:650" {
+		t.Fatalf("headerless parse: %q", noHeader.String())
+	}
+	if _, err := ReadCSV(strings.NewReader("t_s,cap_w\n0,abc\n")); err == nil {
+		t.Fatal("bad CSV row must be rejected")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty CSV must be rejected")
+	}
+}

@@ -1,0 +1,98 @@
+package opcache
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/machine"
+)
+
+func testPlatformCache(t *testing.T) *PlatformCache {
+	t.Helper()
+	pc, err := NewPlatform(machine.Platform{Pools: []machine.NodePool{
+		{Spec: machine.SystemG()},
+		{Spec: machine.Dori()},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pc
+}
+
+// NewPlatform validates like the layers above it.
+func TestNewPlatformRejectsInvalid(t *testing.T) {
+	if _, err := NewPlatform(machine.Platform{}); err == nil {
+		t.Fatal("empty platform must be rejected")
+	}
+	bad := machine.SystemG()
+	bad.Frequencies = nil
+	if _, err := NewPlatform(machine.Homogeneous(bad)); err == nil {
+		t.Fatal("pool with an invalid spec must be rejected")
+	}
+}
+
+// Forget fans out: a forgotten job's rows vanish from every pool's
+// cache while other jobs' rows survive, platform-wide.
+func TestPlatformCacheFanOutForget(t *testing.T) {
+	pc := testPlatformCache(t)
+	v := app.EP()
+	// Price both jobs on both pools: four rows held.
+	for _, owner := range []int{1, 2} {
+		for pool := 0; pool < pc.NumPools(); pool++ {
+			if _, err := pc.Pool(pool).Row(owner, v, 1e7, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := pc.Size(); got != 4 {
+		t.Fatalf("expected 4 rows across the platform, got %d", got)
+	}
+
+	pc.Forget(1)
+
+	if got := pc.Size(); got != 2 {
+		t.Fatalf("after Forget(1): %d rows, want job 2's pair only", got)
+	}
+	// Job 2's rows survive in every pool: re-reading them is a pure hit.
+	hits0, misses0 := pc.Stats()
+	for pool := 0; pool < pc.NumPools(); pool++ {
+		if _, err := pc.Pool(pool).Row(2, v, 1e7, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits1, misses1 := pc.Stats()
+	if hits1 != hits0+2 || misses1 != misses0 {
+		t.Fatalf("job 2 rows should survive in both pools: hits %d→%d misses %d→%d",
+			hits0, hits1, misses0, misses1)
+	}
+	// Job 1's rows are gone from every pool: re-reading re-evaluates.
+	for pool := 0; pool < pc.NumPools(); pool++ {
+		if _, err := pc.Pool(pool).Row(1, v, 1e7, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits2, misses2 := pc.Stats()
+	if hits2 != hits1 || misses2 != misses1+2 {
+		t.Fatalf("job 1 rows should have been dropped in both pools: hits %d→%d misses %d→%d",
+			hits1, hits2, misses1, misses2)
+	}
+	if got := pc.Size(); got != 4 {
+		t.Fatalf("re-evaluation should restore 4 rows, got %d", got)
+	}
+}
+
+// Forgetting an unknown owner is a platform-wide no-op, and Stats/Size
+// aggregate across pools.
+func TestPlatformCacheForgetUnknownOwner(t *testing.T) {
+	pc := testPlatformCache(t)
+	if _, err := pc.Pool(0).Row("job", app.EP(), 1e7, 2); err != nil {
+		t.Fatal(err)
+	}
+	pc.Forget("nobody")
+	if got := pc.Size(); got != 1 {
+		t.Fatalf("unknown owner forgot %d rows", 1-got)
+	}
+	if pc.NumPools() != 2 || len(pc.Platform().Pools) != 2 {
+		t.Fatal("platform accessors lost the pool layout")
+	}
+}

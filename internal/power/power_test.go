@@ -283,3 +283,39 @@ func TestOnSampleAndKeepSampling(t *testing.T) {
 		t.Fatalf("idle-gap sample lost the idle floor: %+v", tail)
 	}
 }
+
+// EnergyBetween slices the integrated trace along arbitrary boundaries:
+// whole-span equals Energy, windows straddling an endpoint contribute
+// pro rata, disjoint slices sum back to the total, and out-of-range
+// spans integrate to zero.
+func TestEnergyBetween(t *testing.T) {
+	pr := Profile{
+		Interval: 1,
+		Samples: []Sample{
+			{T: 1, Total: 100}, // window (0,1] at 100 W
+			{T: 2, Total: 200}, // window (1,2] at 200 W
+			{T: 3, Total: 50},  // window (2,3] at 50 W
+		},
+	}
+	if got, want := float64(pr.EnergyBetween(0, 3)), float64(pr.Energy()); got != want {
+		t.Fatalf("whole span: %g vs Energy() %g", got, want)
+	}
+	if got := float64(pr.EnergyBetween(0, 1)); got != 100 {
+		t.Fatalf("first window: %g", got)
+	}
+	// [0.5, 2.5] = 0.5×100 + 1×200 + 0.5×50 = 275.
+	if got := float64(pr.EnergyBetween(0.5, 2.5)); math.Abs(got-275) > 1e-12 {
+		t.Fatalf("straddling span: %g, want 275", got)
+	}
+	// Disjoint slices partition the total.
+	sum := float64(pr.EnergyBetween(0, 1.7) + pr.EnergyBetween(1.7, 3))
+	if math.Abs(sum-350) > 1e-12 {
+		t.Fatalf("partition: %g, want 350", sum)
+	}
+	if pr.EnergyBetween(5, 9) != 0 || pr.EnergyBetween(-3, 0) != 0 {
+		t.Fatal("out-of-range spans must integrate to zero")
+	}
+	if pr.EnergyBetween(2, 2) != 0 {
+		t.Fatal("empty span must integrate to zero")
+	}
+}

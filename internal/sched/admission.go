@@ -103,12 +103,18 @@ func (s *Scheduler) candidateAt(j Job, pool, p int, f units.Hertz) (Candidate, b
 //   - Deadlines. Among eligible points, ones that meet the job's
 //     deadline (when it has one) win over ones that do not.
 //
-// While a backfill reservation is active (rsv non-nil), a fourth rule
-// applies: a candidate whose predicted completion outlives the reserved
-// start must fit inside the reservation's spare ranks (of its own pool)
-// and watts, so backfilled work can never delay the blocked queue head
-// (backfill.go).
-func (s *Scheduler) bestCandidate(j Job, free []int, budget units.Watts, obj analysis.Objective, now units.Seconds, relaxed bool, rsv *reservation) (Candidate, bool) {
+// While backfill reservations are active (rsvs non-empty), a fourth
+// rule applies: a candidate whose predicted completion outlives a
+// reserved start must fit inside that reservation's spare ranks (of its
+// own pool) and watts, so backfilled work can never delay a blocked,
+// reserved job (backfill.go).
+//
+// Under a cap timeline (Config.Plan) a fifth rule binds: the
+// candidate's conservative draw must fit the *minimum* cap over its
+// predicted lifetime, not just the budget at now — expressed as a
+// per-candidate narrowing of the budget (budgetOverLifetime). A job is
+// never started into a budget window it cannot fit.
+func (s *Scheduler) bestCandidate(j Job, free []int, budget units.Watts, obj analysis.Objective, now units.Seconds, relaxed bool, rsvs []*reservation) (Candidate, bool) {
 	if budget <= 0 {
 		return Candidate{}, false
 	}
@@ -117,6 +123,12 @@ func (s *Scheduler) bestCandidate(j Job, free []int, budget units.Watts, obj ana
 		return Candidate{}, false
 	}
 	maxTp := units.Seconds(float64(refTp) * s.perfSlack())
+	// Under a plan, the control cap at now is loop-invariant: hoist it
+	// so each candidate pays only its own lifetime-window walk.
+	var ctrl units.Watts
+	if s.cfg.Plan != nil {
+		ctrl = s.controlCap(now)
+	}
 	var best, bestDL Candidate
 	found, foundDL := false, false
 	anyWidth := false
@@ -140,7 +152,11 @@ func (s *Scheduler) bestCandidate(j Job, free []int, budget units.Watts, obj ana
 			}
 			for fi := range ps.ladder {
 				cost := s.marginalCost(pi, row.Draw[fi], p)
-				if cost > budget {
+				allowed := budget
+				if s.cfg.Plan != nil {
+					allowed = s.narrowToLifetime(ctrl, now, budget, row.Pred[fi].Tp)
+				}
+				if cost > allowed {
 					continue
 				}
 				c := Candidate{
@@ -148,7 +164,7 @@ func (s *Scheduler) bestCandidate(j Job, free []int, budget units.Watts, obj ana
 					Point: analysis.Point{Pool: ps.name, P: p, Freq: ps.ladder[fi], N: j.N, Prediction: row.Pred[fi]},
 					Cost:  cost,
 				}
-				if !rsv.permits(j.ID, now, c) {
+				if !permitted(rsvs, j.ID, now, c) {
 					continue
 				}
 				if !found || obj.Better(c.Point, best.Point) {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/units"
@@ -41,14 +42,15 @@ import (
 // reservation is recomputed from fresh state on every scheduling edge —
 // prediction error shifts a reserved start, it never strands it.
 
-// reservation promises the blocked queue head a (pool, ranks, watts)
-// tuple at a model-predicted future start time. extraRanks (per pool)
-// and extraWatts are the capacity beyond the promise still spendable by
+// reservation promises a blocked job a (pool, ranks, watts) tuple at a
+// model-predicted future start time. extraRanks (per pool) and
+// extraWatts are the capacity beyond the promise still spendable by
 // work that outlives the reserved start; admissions and governor boosts
 // draw them down.
 type reservation struct {
 	jobID int
 	at    units.Seconds // reserved (shadow) start time
+	dur   units.Seconds // predicted runtime of the reserved candidate
 	pool  int           // reserved pool
 	p     int           // reserved width
 	cost  units.Watts   // reserved marginal draw
@@ -59,35 +61,73 @@ type reservation struct {
 
 // permits reports whether admitting jobID at candidate c now would keep
 // the reservation intact: the reserved job itself is exempt, jobs whose
-// predicted completion lands before the reserved start never touch it,
-// and anything else must fit the spare capacity of its own pool. A nil
-// reservation permits everything.
+// predicted run does not overlap the reserved occupancy [at, at+dur)
+// never touch it — completion before the reserved start, or (in a
+// shadow probe at a future state) a start after the reserved job has
+// drained — and anything else must fit the spare capacity of its own
+// pool. A nil reservation permits everything.
 func (r *reservation) permits(jobID int, now units.Seconds, c Candidate) bool {
 	if r == nil || jobID == r.jobID {
 		return true
 	}
-	if now+c.Tp <= r.at {
+	if now+c.Tp <= r.at || now >= r.at+r.dur {
 		return true
 	}
 	return c.P <= r.extraRanks[c.Pool] && c.Cost <= r.extraWatts
+}
+
+// permitted reports whether every active reservation permits the
+// candidate — the conservative multi-reservation contract: an admission
+// may delay none of the reserved starts.
+func permitted(rsvs []*reservation, jobID int, now units.Seconds, c Candidate) bool {
+	for _, r := range rsvs {
+		if !r.permits(jobID, now, c) {
+			return false
+		}
+	}
+	return true
 }
 
 // Backfill wraps an admission policy with EASY-style reservations: the
 // queue head is tried first with the full free capacity; if it cannot
 // start, a reservation is computed for it and the inner policy backfills
 // the remaining queue under that constraint. Wrapping an already-wrapped
-// policy returns it unchanged.
+// policy returns it unchanged (its reservation count included).
 func Backfill(inner Policy) Policy {
 	if bf, ok := inner.(backfillPolicy); ok {
 		return bf
 	}
-	return backfillPolicy{inner: inner}
+	return backfillPolicy{inner: inner, k: 1}
 }
 
-type backfillPolicy struct{ inner Policy }
+// BackfillN is the conservative multi-reservation variant ("Reservations
+// K"): the first k blocked jobs each get a reservation, computed in
+// arrival order with every earlier reservation's start and predicted
+// completion replayed in the shadow timeline, and an admission must
+// delay none of the reserved starts. k = 1 is exactly Backfill;
+// re-wrapping a backfill policy adjusts its reservation count.
+func BackfillN(inner Policy, k int) Policy {
+	if k < 1 {
+		k = 1
+	}
+	if bf, ok := inner.(backfillPolicy); ok {
+		inner = bf.inner
+	}
+	return backfillPolicy{inner: inner, k: k}
+}
 
-func (b backfillPolicy) Name() string { return "backfill+" + b.inner.Name() }
-func (b backfillPolicy) DVFS() bool   { return b.inner.DVFS() }
+type backfillPolicy struct {
+	inner Policy
+	k     int // reservations held for the first k blocked jobs
+}
+
+func (b backfillPolicy) Name() string {
+	if b.k > 1 {
+		return fmt.Sprintf("backfill%d+%s", b.k, b.inner.Name())
+	}
+	return "backfill+" + b.inner.Name()
+}
+func (b backfillPolicy) DVFS() bool { return b.inner.DVFS() }
 
 func (b backfillPolicy) Admit(ctx *AdmitContext) {
 	// Phase 1: start queue heads in arrival order while they fit. Each
@@ -108,30 +148,61 @@ func (b backfillPolicy) Admit(ctx *AdmitContext) {
 	}
 
 	// Phase 2: reserve the earliest shadow state in which the inner
-	// policy would start the blocked head.
+	// policy would start the blocked head; with Reservations K > 1,
+	// walk the queue in arrival order and reserve for up to k blocked
+	// jobs, each shadow walk replaying the earlier reservations. A job
+	// that can start right now under the reservations so far is simply
+	// started — it needs no promise.
 	head, _ := ctx.head()
-	rsv := ctx.s.computeReservation(head, b.inner, ctx)
-	if !ctx.shadow {
-		ctx.s.rsv = rsv
+	var rsvs []*reservation
+	if rsv := ctx.s.computeReservation(head, b.inner, ctx, nil); rsv != nil {
+		rsvs = append(rsvs, rsv)
+		for _, j := range ctx.Pending() {
+			if len(rsvs) >= b.k {
+				break
+			}
+			if j.ID == head.ID {
+				continue
+			}
+			ctx.rsvs = rsvs
+			before := len(ctx.admitted)
+			ctx.only = &j.ID
+			b.inner.Admit(ctx)
+			ctx.only = nil
+			if len(ctx.admitted) > before {
+				continue // startable now; no reservation needed
+			}
+			if rsv := ctx.s.computeReservation(j, b.inner, ctx, rsvs); rsv != nil {
+				rsvs = append(rsvs, rsv)
+			}
+		}
 	}
-	ctx.rsv = rsv
+	if !ctx.shadow {
+		ctx.s.rsvs = rsvs
+	}
+	ctx.rsvs = rsvs
 
-	// Phase 3: backfill the rest of the queue under the reservation.
+	// Phase 3: backfill the rest of the queue under the reservations.
 	b.inner.Admit(ctx)
 }
 
-// computeReservation runs the shadow walk for the blocked queue head:
-// replay the predicted completions of running and just-admitted jobs in
-// time order, crediting each job's ranks back to its own pool and its
-// marginal draw to the shared watt budget, and probe the inner policy at
-// every distinct shadow time. The first probe that starts the head
-// defines the reservation. At the final event the cluster is fully
-// drained, so the probe relaxes the width-slack rule exactly as tryAdmit
-// does on an idle cluster — any job feasible at all is guaranteed a
-// reservation, which is the liveness bound. Returns nil when there is
-// nothing running to wait for or the head is infeasible even on the
-// drained cluster.
-func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext) *reservation {
+// computeReservation runs the shadow walk for one blocked job: replay
+// the predicted completions of running and just-admitted jobs in time
+// order — plus, for conservative multi-reservations, the reserved
+// starts and predicted completions of every earlier reservation —
+// crediting each completion's ranks back to its own pool and its
+// marginal draw to the shared watt budget, and probe the inner policy
+// at every distinct shadow time. Under a cap timeline the shadow budget
+// additionally shifts with the control cap at each event's time, so a
+// reservation can land inside a future budget window the present one
+// could not afford (or be pushed past a squeeze). The first probe that
+// starts the job defines the reservation. At the final event the
+// cluster is fully drained, so the probe relaxes the width-slack rule
+// exactly as tryAdmit does on an idle cluster — any job feasible at all
+// is guaranteed a reservation, which is the liveness bound. Returns nil
+// when there is nothing running to wait for or the job is infeasible
+// even on the drained cluster.
+func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext, prior []*reservation) *reservation {
 	type event struct {
 		t     units.Seconds
 		id    int
@@ -139,7 +210,7 @@ func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext
 		ranks int
 		watts units.Watts
 	}
-	evs := make([]event, 0, len(s.running)+len(ctx.admitted))
+	evs := make([]event, 0, len(s.running)+len(ctx.admitted)+2*len(prior))
 	for _, rj := range s.running {
 		evs = append(evs, event{
 			t:     s.predictedEnd(rj),
@@ -152,6 +223,12 @@ func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext
 	for _, adm := range ctx.admitted {
 		evs = append(evs, event{t: ctx.now + adm.cand.Tp, id: adm.jobID, pool: adm.cand.Pool, ranks: adm.cand.P, watts: adm.cand.Cost})
 	}
+	for _, r := range prior {
+		// An earlier reservation occupies its promised capacity between
+		// its reserved start and its predicted completion.
+		evs = append(evs, event{t: r.at, id: r.jobID, pool: r.pool, ranks: -r.p, watts: -r.cost})
+		evs = append(evs, event{t: r.at + r.dur, id: r.jobID, pool: r.pool, ranks: r.p, watts: r.cost})
+	}
 	if len(evs) == 0 {
 		return nil
 	}
@@ -159,7 +236,10 @@ func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext
 		if evs[a].t != evs[b].t {
 			return evs[a].t < evs[b].t
 		}
-		return evs[a].id < evs[b].id
+		if evs[a].id != evs[b].id {
+			return evs[a].id < evs[b].id
+		}
+		return evs[a].ranks < evs[b].ranks // a reservation's start precedes its own release
 	})
 	free, watts := append([]int(nil), ctx.free...), ctx.headroom
 	for i, e := range evs {
@@ -168,18 +248,25 @@ func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext
 		if i+1 < len(evs) && evs[i+1].t == e.t {
 			continue // coalesce simultaneous completions
 		}
+		avail := watts
+		if s.cfg.Plan != nil {
+			// The shadow state's budget lives under the control cap at
+			// the event's own time, not at now.
+			avail += s.controlCap(e.t) - s.controlCap(ctx.now)
+		}
 		relaxed := ctx.relaxed || i == len(evs)-1
-		if cand, ok := s.shadowCandidate(inner, head, free, watts, e.t, relaxed); ok {
+		if cand, ok := s.shadowCandidate(inner, head, free, avail, e.t, relaxed, prior); ok {
 			extra := append([]int(nil), free...)
 			extra[cand.Pool] -= cand.P
 			return &reservation{
 				jobID:      head.ID,
 				at:         e.t,
+				dur:        cand.Tp,
 				pool:       cand.Pool,
 				p:          cand.P,
 				cost:       cand.Cost,
 				extraRanks: extra,
-				extraWatts: watts - cand.Cost,
+				extraWatts: avail - cand.Cost,
 			}
 		}
 	}
@@ -188,9 +275,10 @@ func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext
 
 // shadowCandidate asks the inner policy whether it would start job j on
 // a hypothetical cluster with the given per-pool free ranks and power
-// headroom at virtual time at, and with which candidate. The probe
-// context never mutates scheduler state.
-func (s *Scheduler) shadowCandidate(inner Policy, j Job, free []int, watts units.Watts, at units.Seconds, relaxed bool) (Candidate, bool) {
+// headroom at virtual time at, and with which candidate. Earlier
+// reservations constrain the probe exactly as they constrain real
+// admissions. The probe context never mutates scheduler state.
+func (s *Scheduler) shadowCandidate(inner Policy, j Job, free []int, watts units.Watts, at units.Seconds, relaxed bool, prior []*reservation) (Candidate, bool) {
 	sctx := &AdmitContext{
 		s:        s,
 		now:      at,
@@ -200,6 +288,7 @@ func (s *Scheduler) shadowCandidate(inner Policy, j Job, free []int, watts units
 		taken:    make(map[int]bool),
 		relaxed:  relaxed,
 		shadow:   true,
+		rsvs:     prior,
 	}
 	inner.Admit(sctx)
 	if len(sctx.admitted) == 0 {

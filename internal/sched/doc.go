@@ -58,4 +58,15 @@
 // iso-energy-efficiency-aware fair share (the cap is divided among
 // waiting jobs in proportion to priority, each share optimised for EE).
 // cmd/schedrun races the policies head to head on one synthetic trace.
+//
+// The budget itself may vary over time: Config.Plan accepts a
+// capplan.Plan cap timeline (demand-response windows, diurnal tariffs,
+// carbon-intensity series). Admission then charges each job's envelope
+// against the minimum cap over its predicted lifetime, the backfill
+// shadow walk reserves against the timeline, every plan breakpoint is a
+// first-class scheduling edge (the governor throttles one sampling
+// interval ahead of each downward step and boosts/re-admits on rises),
+// and the audit judges every sample by the cap in force at its own
+// instant — see DESIGN.md §8 and the per-window accounting in
+// Result.Windows.
 package sched

@@ -50,7 +50,9 @@ func (g *governor) onSample(sm power.Sample) {
 	if sm.Total > g.peak {
 		g.peak = sm.Total
 	}
-	cap := g.s.cfg.Cap
+	// Audit against the budget in force at the sample's own time: under
+	// a cap timeline every window is judged by the cap at its end.
+	cap := g.s.capAt(sm.T)
 	if float64(sm.Total) > float64(cap)*(1+capEpsilon) {
 		g.violations++
 	}
@@ -64,12 +66,16 @@ func (g *governor) onSample(sm power.Sample) {
 }
 
 // throttle steps jobs down the ladder until the predicted draw fits the
-// cap. Victims are picked deterministically: lowest priority first, then
-// the job shedding the most power per step, then highest ID. With
-// conservative admission this loop is normally idle; it exists for cap
-// reductions, noise, and defence in depth.
+// control cap (the constant cap, or the plan's minimum over the next
+// sampling interval — so an imminent downward step is enforced ahead of
+// the windows judged against it). Victims are picked deterministically:
+// lowest priority first, then the job shedding the most power per step,
+// then highest ID. With conservative admission this loop is normally
+// idle; it exists for cap reductions (plan steps), noise, and defence
+// in depth.
 func (g *governor) throttle() {
-	for g.s.predictedTotal() > g.s.cfg.Cap {
+	cap := g.s.controlCap(g.s.cl.Kernel().Now())
+	for g.s.predictedTotal() > cap {
 		var victim *runningJob
 		var saving units.Watts
 		for _, rj := range g.sorted() {
@@ -135,15 +141,29 @@ func (g *governor) boost() {
 			if cost > g.s.headroom() {
 				continue
 			}
-			// A backfill reservation holds watts for the blocked queue
-			// head at its reserved start: a boost that would leave this
-			// job running past that start may only spend the
-			// reservation's spare watts, never the held ones.
-			if rsv := g.s.rsv; rsv != nil && g.s.predictedEndAt(rj, next) > rsv.at {
-				if cost > rsv.extraWatts {
+			// A backfill reservation holds watts for a blocked job at
+			// its reserved start: a boost that would leave this job
+			// running past that start may only spend the reservation's
+			// spare watts, never the held ones — and with conservative
+			// multi-reservations, every reservation it outlives must
+			// afford the cost.
+			if len(g.s.rsvs) > 0 {
+				end := g.s.predictedEndAt(rj, next)
+				short := false
+				for _, rsv := range g.s.rsvs {
+					if end > rsv.at && cost > rsv.extraWatts {
+						short = true
+						break
+					}
+				}
+				if short {
 					continue
 				}
-				rsv.extraWatts -= cost
+				for _, rsv := range g.s.rsvs {
+					if end > rsv.at {
+						rsv.extraWatts -= cost
+					}
+				}
 			}
 			g.retune(rj, next)
 			changed = true

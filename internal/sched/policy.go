@@ -40,10 +40,10 @@ type AdmitContext struct {
 	// only restricts Pending to one job ID — how the Backfill wrapper
 	// gives the queue head an exclusive, unconstrained admission shot.
 	only *int
-	// rsv constrains admissions to ones that neither delay the reserved
-	// start of the blocked queue head nor eat its reserved per-pool
+	// rsvs constrain admissions to ones that neither delay the reserved
+	// start of any blocked, reserved job nor eat its reserved per-pool
 	// ranks or watts.
-	rsv *reservation
+	rsvs []*reservation
 	// shadow marks a hypothetical context used to probe a policy at a
 	// future cluster state (backfill.go); shadow passes never touch the
 	// scheduler's counters.
@@ -78,8 +78,9 @@ func (c *AdmitContext) SpecOf(rank int) machine.Spec { return c.s.cl.SpecOf(rank
 // Now returns the current virtual time.
 func (c *AdmitContext) Now() units.Seconds { return c.now }
 
-// Cap returns the cluster power cap.
-func (c *AdmitContext) Cap() units.Watts { return c.s.cfg.Cap }
+// Cap returns the cluster power budget in force at the context's time
+// (constant, or the plan window containing Now).
+func (c *AdmitContext) Cap() units.Watts { return c.s.capAt(c.now) }
 
 // TotalRanks returns the provisioned cluster size over all pools.
 func (c *AdmitContext) TotalRanks() int { return c.s.cl.Ranks() }
@@ -133,26 +134,28 @@ func (c *AdmitContext) head() (Job, bool) {
 // Best searches every pool's width range × DVFS ladder for the best
 // operating point under obj whose marginal power cost fits budget
 // (admission.go documents the cost model, the performance-slack rule,
-// deadline preference, and the pool scan order). While a backfill
-// reservation is active, only points it permits are considered. ok is
-// false when the job should wait.
+// deadline preference, the min-over-lifetime rule under a cap
+// timeline, and the pool scan order). While backfill reservations are
+// active, only points they all permit are considered. ok is false when
+// the job should wait.
 func (c *AdmitContext) Best(j Job, budget units.Watts, obj analysis.Objective) (Candidate, bool) {
-	return c.s.bestCandidate(j, c.free, budget, obj, c.now, c.relaxed, c.rsv)
+	return c.s.bestCandidate(j, c.free, budget, obj, c.now, c.relaxed, c.rsvs)
 }
 
 // At prices one explicit (pool, p, f) point for the job; ok is false
 // when the point is invalid, needs more ranks than the pool has free,
-// exceeds the context's remaining headroom, or would eat an active
-// backfill reservation.
+// exceeds the context's remaining headroom (narrowed, under a cap
+// timeline, to the minimum budget window the job would live through),
+// or would eat an active backfill reservation.
 func (c *AdmitContext) At(j Job, pool, p int, f units.Hertz) (Candidate, bool) {
 	if pool < 0 || pool >= len(c.free) || p < 1 || p > c.free[pool] {
 		return Candidate{}, false
 	}
 	cand, ok := c.s.candidateAt(j, pool, p, f)
-	if !ok || cand.Cost > c.headroom {
+	if !ok || cand.Cost > c.s.budgetOverLifetime(c.now, c.headroom, cand.Tp) {
 		return Candidate{}, false
 	}
-	if !c.rsv.permits(j.ID, c.now, cand) {
+	if !permitted(c.rsvs, j.ID, c.now, cand) {
 		return Candidate{}, false
 	}
 	return cand, true
@@ -172,14 +175,21 @@ func (c *AdmitContext) Admit(j Job, cand Candidate) {
 		panic("sched: admission exceeds free ranks or headroom")
 	}
 	backfilled := false
-	if c.rsv != nil && j.ID != c.rsv.jobID {
+	for _, rsv := range c.rsvs {
+		if j.ID == rsv.jobID {
+			continue
+		}
 		backfilled = true
-		if c.now+cand.Tp > c.rsv.at {
-			if cand.P > c.rsv.extraRanks[cand.Pool] || cand.Cost > c.rsv.extraWatts {
-				panic("sched: backfill admission would eat the head's reservation")
+		if c.now+cand.Tp > rsv.at && c.now < rsv.at+rsv.dur {
+			if cand.P > rsv.extraRanks[cand.Pool] || cand.Cost > rsv.extraWatts {
+				panic("sched: backfill admission would eat a blocked job's reservation")
 			}
-			c.rsv.extraRanks[cand.Pool] -= cand.P
-			c.rsv.extraWatts -= cand.Cost
+			// Shadow probes share the live reservation list; only real
+			// admissions spend its spare capacity.
+			if !c.shadow {
+				rsv.extraRanks[cand.Pool] -= cand.P
+				rsv.extraWatts -= cand.Cost
+			}
 		}
 	}
 	if !c.shadow {

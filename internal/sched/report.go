@@ -16,7 +16,20 @@ type Result struct {
 	// spec name for a one-pool platform, "a:N+b:M" for mixed ones).
 	Platform string
 	Ranks    int
-	Cap      units.Watts
+	// Cap is the constant power budget, or the cap timeline's initial
+	// window when the schedule ran under a Plan.
+	Cap units.Watts
+	// Plan labels the cap timeline in ParsePlan form; empty for a
+	// constant cap.
+	Plan string
+	// Windows holds per-budget-window accounting when a Plan was set
+	// (capped to the sampled makespan): energy, violations, and cap
+	// utilisation per window.
+	Windows []WindowStat
+	// CapUtilisation is the time-weighted fraction of the budget the
+	// cluster actually drew over the sampled makespan, ∫P dt / ∫cap dt
+	// (plan runs only; zero otherwise).
+	CapUtilisation float64
 
 	// Jobs holds every submitted job's record, ordered by ID.
 	Jobs []JobResult
@@ -113,6 +126,11 @@ func (s *Scheduler) collect() Result {
 			}
 		}
 	}
+	if s.cfg.Plan != nil {
+		res.Cap = s.cfg.Plan.CapAt(0)
+		res.Plan = s.cfg.Plan.String()
+		res.Windows, res.CapUtilisation = s.collectWindows()
+	}
 	res.HeadBypasses = s.headBypasses
 	if res.Completed > 0 {
 		res.EnergyPerJob = units.Joules(float64(energy) / float64(res.Completed))
@@ -130,6 +148,93 @@ func (s *Scheduler) collect() Result {
 		res.Throughput = float64(res.Completed) / float64(res.Makespan)
 	}
 	return res
+}
+
+// WindowStat is the per-budget-window slice of a schedule run under a
+// cap timeline: the window's bounds and cap, the energy dissipated and
+// samples audited inside it, and how hard the budget was used.
+type WindowStat struct {
+	Start, End units.Seconds
+	Cap        units.Watts
+	// Energy integrates the measured draw inside the window (sampling
+	// windows straddling a breakpoint contribute pro rata).
+	Energy units.Joules
+	// Samples and Violations count the profiler samples whose audit
+	// time fell in the window, and how many exceeded its cap.
+	Samples    int
+	Violations int
+	// MeanPower is Energy over the window length; Utilisation is
+	// MeanPower over the window's cap.
+	MeanPower   units.Watts
+	Utilisation float64
+}
+
+// collectWindows slices the profiler trace along the plan's breakpoints
+// (up to the last sample — windows the schedule never reached are
+// dropped) and computes the overall time-weighted cap utilisation.
+func (s *Scheduler) collectWindows() ([]WindowStat, float64) {
+	prof := s.prof.Profile()
+	if len(prof.Samples) == 0 {
+		return nil, 0
+	}
+	horizon := prof.Samples[len(prof.Samples)-1].T
+	segs := s.cfg.Plan.Segments()
+	var stats []WindowStat
+	for i, sg := range segs {
+		// A segment starting exactly at the last sample time still owns
+		// that boundary sample (the audit judges a breakpoint sample by
+		// the new window), so only segments strictly beyond the horizon
+		// are dropped.
+		if sg.Start > horizon {
+			break
+		}
+		end := horizon
+		if i+1 < len(segs) && segs[i+1].Start < end {
+			end = segs[i+1].Start
+		}
+		w := WindowStat{Start: sg.Start, End: end, Cap: sg.Cap}
+		w.Energy = prof.EnergyBetween(sg.Start, end)
+		if dt := end - sg.Start; dt > 0 {
+			w.MeanPower = units.Power(w.Energy, dt)
+			w.Utilisation = float64(w.MeanPower) / float64(sg.Cap)
+		}
+		stats = append(stats, w)
+	}
+	var capIntegral float64
+	for _, w := range stats {
+		capIntegral += float64(w.Cap) * float64(w.End-w.Start)
+	}
+	// Attribute each sample to the window its audit time falls in —
+	// the same rule the governor's violation audit applies.
+	for _, sm := range prof.Samples {
+		for i := range stats {
+			if sm.T >= stats[i].Start && (sm.T < stats[i].End || i == len(stats)-1) {
+				stats[i].Samples++
+				if float64(sm.Total) > float64(stats[i].Cap)*(1+capEpsilon) {
+					stats[i].Violations++
+				}
+				break
+			}
+		}
+	}
+	util := 0.0
+	if capIntegral > 0 {
+		util = float64(prof.EnergyBetween(0, horizon)) / capIntegral
+	}
+	return stats, util
+}
+
+// WindowTable renders the per-budget-window accounting of a plan run.
+func (r Result) WindowTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %10s %8s %7s %12s %9s %6s %5s\n",
+		"window", "", "cap", "samples", "energy", "meanW", "util", "viol")
+	for _, w := range r.Windows {
+		fmt.Fprintf(&b, "%10v %10v %8.0f %7d %12v %9.1f %5.1f%% %5d\n",
+			w.Start, w.End, float64(w.Cap), w.Samples, w.Energy,
+			float64(w.MeanPower), w.Utilisation*100, w.Violations)
+	}
+	return b.String()
 }
 
 // String renders a one-result summary.

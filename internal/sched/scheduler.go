@@ -2,7 +2,9 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
+	"repro/internal/capplan"
 	"repro/internal/cluster"
 	"repro/internal/machine"
 	"repro/internal/opcache"
@@ -24,6 +26,18 @@ type Config struct {
 	Ranks int
 	// Cap is the whole-cluster power budget the schedule must respect.
 	Cap units.Watts
+	// Plan, when set, replaces the constant Cap with a time-varying
+	// budget timeline (demand-response windows, diurnal price curves,
+	// carbon-intensity series — internal/capplan). Admission then
+	// charges each job's power envelope against the minimum cap over
+	// its predicted lifetime, the backfill shadow walk reserves against
+	// the timeline, the governor treats every plan breakpoint as a
+	// scheduling edge (throttling ahead of a drop, boosting and
+	// re-admitting on a rise), and the violation audit compares each
+	// sample to the cap in force at the sample's time. Plan and Cap are
+	// mutually exclusive; nil keeps today's constant-cap behaviour
+	// byte-identical.
+	Plan *capplan.Plan
 	// Policy picks operating points at admission (default EEMax).
 	Policy Policy
 	// Interval is the governor/profiler sampling period; zero selects
@@ -106,13 +120,13 @@ type Scheduler struct {
 	// spare watts are loanable to running jobs (governor boost).
 	blocked bool
 
-	// rsv is the active backfill reservation, if any: the per-pool ranks
-	// and watts the blocked queue head is promised at a model-predicted
-	// future start time (backfill.go). Recomputed on every admission
-	// pass; nil whenever the policy is not a Backfill wrapper or the
-	// head is startable. The governor consults it so boosts never loan
-	// watts the reservation holds.
-	rsv *reservation
+	// rsvs are the active backfill reservations, if any: the per-pool
+	// ranks and watts the first K blocked jobs are promised at
+	// model-predicted future start times (backfill.go). Recomputed on
+	// every admission pass; empty whenever the policy is not a Backfill
+	// wrapper or the head is startable. The governor consults them so
+	// boosts never loan watts a reservation holds.
+	rsvs []*reservation
 
 	// headBypasses counts admissions that jumped an earlier-arrived
 	// waiter — the starvation pressure the backfill reservation bounds.
@@ -120,6 +134,11 @@ type Scheduler struct {
 
 	parkedEnergy units.Joules
 	ran          bool
+
+	// idleFloor is the fully parked cluster's draw (every provisioned
+	// rank at its pool's ladder minimum) — the idle-cluster headroom
+	// reference the future-window feasibility probe prices against.
+	idleFloor units.Watts
 
 	// forceRankChains disables the lockstep batch for tests that verify
 	// the per-rank event chains produce identical noise-free schedules.
@@ -203,7 +222,14 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.Ranks < 0 {
 		return nil, fmt.Errorf("sched: cluster size %d must be positive", cfg.Ranks)
 	}
-	if cfg.Cap <= 0 {
+	if cfg.Plan != nil {
+		if cfg.Cap != 0 {
+			return nil, fmt.Errorf("sched: Config.Cap and Config.Plan are mutually exclusive (encode a constant cap as capplan.Constant)")
+		}
+		if err := cfg.Plan.Validate(); err != nil {
+			return nil, err
+		}
+	} else if cfg.Cap <= 0 {
 		return nil, fmt.Errorf("sched: power cap %v must be positive", cfg.Cap)
 	}
 
@@ -253,11 +279,78 @@ func New(cfg Config) (*Scheduler, error) {
 		s.pools[i].scratch = make([]int, 0, s.pools[i].size)
 		floor += units.Watts(float64(s.pools[i].size) * float64(s.pools[i].idleMin))
 	}
-	if cfg.Cap < floor {
+	s.idleFloor = floor
+	minCap := cfg.Cap
+	if cfg.Plan != nil {
+		// The tightest plan window is the binding constraint: a budget
+		// below the idle floor anywhere on the timeline guarantees
+		// violations while that window is in force.
+		minCap = cfg.Plan.MinCap()
+	}
+	if minCap < floor {
 		return nil, fmt.Errorf("sched: cap %v is below the cluster idle floor %v (%d ranks parked at each pool's ladder minimum) — no schedule can satisfy it",
-			cfg.Cap, floor, cfg.Ranks)
+			minCap, floor, cfg.Ranks)
 	}
 	return s, nil
+}
+
+// capAt is the instantaneous power budget at time t — the reference the
+// violation audit compares measured samples against.
+func (s *Scheduler) capAt(t units.Seconds) units.Watts {
+	if s.cfg.Plan == nil {
+		return s.cfg.Cap
+	}
+	return s.cfg.Plan.CapAt(t)
+}
+
+// controlCap is the budget the control plane enforces at time t: the
+// minimum cap over the next sampling interval. The profiler's audit
+// compares each window's *average* draw to the cap at the window's end,
+// so a draw admitted legally just before a downward step would smear
+// over the step and read as a violation; enforcing one interval ahead
+// means every instant a measurement window covers was already held
+// under the cap the window is judged against. With no plan this is the
+// constant cap.
+func (s *Scheduler) controlCap(t units.Seconds) units.Watts {
+	if s.cfg.Plan == nil {
+		return s.cfg.Cap
+	}
+	return s.cfg.Plan.MinOver(t, t+s.cfg.Interval)
+}
+
+// lifetimeCap is the admission reference for a job predicted to run for
+// tp starting at t: the minimum cap over its residence plus one
+// trailing sampling window (the last window containing its draw ends up
+// to one interval after it completes). Charging the job's conservative
+// envelope against this minimum is what lets a schedule cross downward
+// budget steps with zero violations even for policies the governor
+// cannot retune (fifo has no DVFS to throttle at the step).
+func (s *Scheduler) lifetimeCap(t units.Seconds, tp units.Seconds) units.Watts {
+	if s.cfg.Plan == nil {
+		return s.cfg.Cap
+	}
+	return s.cfg.Plan.MinOver(t, t+tp+s.cfg.Interval)
+}
+
+// budgetOverLifetime narrows an admission budget (measured against the
+// control cap at now) by however much the cap timeline dips below that
+// control cap during a candidate's predicted residence. With no plan
+// the budget is returned unchanged.
+func (s *Scheduler) budgetOverLifetime(now units.Seconds, budget units.Watts, tp units.Seconds) units.Watts {
+	if s.cfg.Plan == nil {
+		return budget
+	}
+	return s.narrowToLifetime(s.controlCap(now), now, budget, tp)
+}
+
+// narrowToLifetime is the authoritative min-over-lifetime narrowing
+// rule, taking an already computed control cap so grid scans can hoist
+// the loop-invariant term (bestCandidate). Plan runs only.
+func (s *Scheduler) narrowToLifetime(ctrl units.Watts, now units.Seconds, budget units.Watts, tp units.Seconds) units.Watts {
+	if red := ctrl - s.lifetimeCap(now, tp); red > 0 {
+		return budget - red
+	}
+	return budget
 }
 
 // freeByPool snapshots each pool's free-rank count.
@@ -302,8 +395,12 @@ func (s *Scheduler) predictedTotal() units.Watts {
 	return total
 }
 
-// headroom is the power left under the cap.
-func (s *Scheduler) headroom() units.Watts { return s.cfg.Cap - s.predictedTotal() }
+// headroom is the power left under the cap the control plane is
+// enforcing right now (the constant cap, or the plan's control cap at
+// the current instant).
+func (s *Scheduler) headroom() units.Watts {
+	return s.controlCap(s.cl.Kernel().Now()) - s.predictedTotal()
+}
 
 // predictedEndAt returns the model-predicted completion time of a
 // running job if it executed at ladder index idx from now on: the work
@@ -368,6 +465,15 @@ func (s *Scheduler) Run(jobs []Job) (Result, error) {
 	prof.OnSample(s.gov.onSample)
 	prof.KeepSampling(func() bool { return s.remaining > 0 })
 
+	// A cap timeline's breakpoints are scheduling edges in their own
+	// right: ahead of a downward step the governor must shed draw so no
+	// measurement window spanning the step averages above the incoming
+	// cap, and at a rise the freed budget should reach the queue and the
+	// running jobs immediately rather than at the next sample.
+	if s.cfg.Plan != nil {
+		s.schedulePlanEdges()
+	}
+
 	// Arrival events are scheduled in submission order so that same-time
 	// arrivals enqueue deterministically (the kernel fires equal-time
 	// events FIFO).
@@ -420,9 +526,10 @@ func (s *Scheduler) reject(e *entry, reason string) {
 // governor's control pass runs here too, so completions and admissions
 // retune immediately instead of waiting for the next profiler sample.
 func (s *Scheduler) tryAdmit() {
-	// Every scheduling edge invalidates the previous pass's reservation;
-	// a Backfill policy re-derives it from the fresh cluster state.
-	s.rsv = nil
+	// Every scheduling edge invalidates the previous pass's
+	// reservations; a Backfill policy re-derives them from the fresh
+	// cluster state.
+	s.rsvs = nil
 	defer func() {
 		s.blocked = len(s.queue) > 0
 		s.edgeRetune()
@@ -435,13 +542,133 @@ func (s *Scheduler) tryAdmit() {
 	}
 	admitted := s.admitPass(false)
 	if admitted == 0 && len(s.running) == 0 {
-		admitted = s.admitPass(true)
+		now := s.cl.Kernel().Now()
+		// The relaxed (width-slack-dropped) pass exists because on an
+		// idle constant-cap cluster waiting can never help — but under
+		// a plan with a strictly higher window still ahead it can:
+		// pool and width are locked for a job's lifetime, so crawling
+		// through a temporary squeeze loses to waiting for the rise
+		// (the "waiting beats crawling" rule, admission.go). Skip the
+		// relaxed pass in that case and let the breakpoint edges rerun
+		// this one.
+		betterAhead := s.cfg.Plan != nil && now < s.cfg.Plan.End() &&
+			s.cfg.Plan.MaxFrom(now) > s.controlCap(now)
+		if !betterAhead {
+			admitted = s.admitPass(true)
+		}
 		if admitted == 0 {
+			if s.cfg.Plan != nil && now < s.cfg.Plan.End() {
+				// A time-varying budget makes an idle cluster a waiting
+				// room, not a dead end — but only for jobs some future
+				// window could actually admit. Rejecting the rest now
+				// (rather than at the final breakpoint) keeps a short
+				// trace from idling the sampler across a long timeline.
+				kept := s.queue[:0]
+				for _, e := range s.queue {
+					if s.feasibleInSomeWindow(e.job, now) {
+						kept = append(kept, e)
+					} else {
+						s.reject(e, "no operating point fits any budget window, even on an idle cluster")
+					}
+				}
+				s.queue = kept
+				return
+			}
 			for _, e := range s.queue {
-				s.reject(e, fmt.Sprintf("no operating point fits cap %v even on an idle cluster", s.cfg.Cap))
+				s.reject(e, fmt.Sprintf("no operating point fits cap %v even on an idle cluster", s.capAt(now)))
 			}
 			s.queue = nil
 		}
+	}
+}
+
+// feasibleInSomeWindow reports whether the configured policy would
+// start the job, relaxed, on a fully idle cluster in the current or
+// any future plan window — the park-or-reject test for an idle,
+// blocked queue under a cap timeline. Each probe prices the window's
+// own min-over-lifetime narrowing, so a window is only counted
+// feasible if the job also clears whatever follows it.
+func (s *Scheduler) feasibleInSomeWindow(j Job, now units.Seconds) bool {
+	free := make([]int, len(s.pools))
+	for i := range s.pools {
+		free[i] = s.pools[i].size
+	}
+	for t := now; ; {
+		if _, ok := s.shadowCandidate(s.cfg.Policy, j, free, s.controlCap(t)-s.idleFloor, t, true, nil); ok {
+			return true
+		}
+		next, _, ok := s.cfg.Plan.Next(t)
+		if !ok {
+			return false
+		}
+		t = next
+	}
+}
+
+// schedulePlanEdges walks the cap timeline's breakpoints and registers
+// the governor's edge events: at every breakpoint a full scheduling
+// edge (admission pass plus throttle/boost), and one sampling interval
+// ahead of each downward step an early throttle, so the draw is already
+// under the incoming cap when the first measurement window judged
+// against it opens. Events chain lazily and stop with the trace, so a
+// timeline stretching far past the makespan costs nothing.
+func (s *Scheduler) schedulePlanEdges() {
+	type edge struct {
+		t       units.Seconds
+		preDrop bool
+	}
+	var edges []edge
+	prev := s.cfg.Plan.CapAt(0)
+	for _, bp := range s.cfg.Plan.Breakpoints() {
+		next := s.cfg.Plan.CapAt(bp)
+		if next < prev {
+			pre := bp - s.cfg.Interval
+			if pre < 0 {
+				pre = 0
+			}
+			edges = append(edges, edge{t: pre, preDrop: true})
+		}
+		edges = append(edges, edge{t: bp})
+		prev = next
+	}
+	// Pre-drop edges of closely spaced steps can land out of order with
+	// the breakpoints before them; restore time order (stable on ties:
+	// an earlier breakpoint's edge fires before a later drop's
+	// pre-throttle at the same instant).
+	sort.SliceStable(edges, func(a, b int) bool { return edges[a].t < edges[b].t })
+	k := s.cl.Kernel()
+	var arm func(i int)
+	arm = func(i int) {
+		if i >= len(edges) {
+			return
+		}
+		k.Schedule(edges[i].t, func() {
+			if s.remaining > 0 {
+				s.planEdge(edges[i].preDrop)
+				arm(i + 1)
+			}
+		})
+	}
+	arm(0)
+}
+
+// planEdge runs in kernel context at (or one interval ahead of) a cap
+// breakpoint. Pre-drop edges only shed draw; the breakpoint proper is a
+// first-class scheduling edge — throttle to the new control cap, give
+// the queue a shot at any freed budget, and let running jobs boost into
+// a rise — regardless of Config.EdgeRetune, which gates only the
+// admission/completion edges.
+func (s *Scheduler) planEdge(preDrop bool) {
+	dvfs := s.cfg.Policy.DVFS()
+	if dvfs {
+		s.gov.throttle()
+	}
+	if preDrop {
+		return
+	}
+	s.tryAdmit()
+	if dvfs && len(s.running) > 0 {
+		s.gov.boost()
 	}
 }
 
