@@ -28,6 +28,7 @@ import (
 	"repro/internal/npb/ft"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -398,6 +399,60 @@ func BenchmarkSchedule(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScheduleTelemetry pins the observability cost model: the
+// "off" variant is the scheduler's normal disabled-telemetry path
+// (every emit site short-circuits on one nil test; see DESIGN.md §9 —
+// its allocs/op are the scheduler's own, with zero telemetry delta, a
+// claim the goldens pin byte-for-byte and the per-push BENCH artifacts
+// track across revisions), and the "memory" variant prices full
+// event-stream retention. Both report allocations so a regression in
+// either path shows up in the bench history.
+func BenchmarkScheduleTelemetry(b *testing.B) {
+	trace := sched.SyntheticTrace(TraceConfig64())
+	run := func(b *testing.B, rec *telemetry.Recorder) sched.Result {
+		s, err := sched.New(sched.Config{
+			Platform:  machine.Homogeneous(machine.SystemG()),
+			Ranks:     64,
+			Cap:       2500,
+			Policy:    sched.Backfill(sched.EEMax()),
+			Seed:      1,
+			Telemetry: rec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run(trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run(b, nil)
+		}
+	})
+	b.Run("memory", func(b *testing.B) {
+		b.ReportAllocs()
+		events := 0
+		for i := 0; i < b.N; i++ {
+			mem := telemetry.NewMemorySink()
+			rec := telemetry.New(mem)
+			run(b, rec)
+			if err := rec.Err(); err != nil {
+				b.Fatal(err)
+			}
+			events = len(mem.Events())
+		}
+		b.ReportMetric(float64(events), "events")
+	})
+}
+
+// TraceConfig64 is the BenchmarkSchedule workload shape, shared so the
+// telemetry variant prices the same trace.
+func TraceConfig64() sched.TraceConfig { return sched.TraceConfig{Jobs: 64, Seed: 1} }
 
 // --- substrate micro-benchmarks ---
 

@@ -37,26 +37,44 @@
 // -reserve K holds EASY reservations for the first K blocked jobs
 // (conservative multi-reservation backfill; K > 1 implies -backfill).
 //
+// Observability (internal/telemetry) attaches to a single named policy:
+// -trace writes a Chrome trace-event JSON timeline (open in Perfetto or
+// chrome://tracing), -events the raw decision stream as NDJSON,
+// -metrics the sim-time metrics registry as CSV, and -audit renders the
+// plain-text decision audit ("summary", a job ID, or "all") on stdout.
+// These flags need -policy NAME — a decision stream interleaving
+// several independent schedules would be meaningless — and with
+// -repeat N they record only the final repetition, so profiling runs
+// stay clean. -json dumps the machine-readable results (any policy
+// selection) to a file, or stdout with "-". When any run violated the
+// cap, schedrun exits with status 3 after printing its tables, so CI
+// smoke jobs can assert the zero-violation guarantee.
+//
 // Usage:
 //
 //	schedrun -jobs 64 -cap 2500 [-ranks 64] [-cluster systemg:32,dori:32]
 //	         [-capplan 0:2500,3600:1500 | -capfile plan.csv] [-capdump out.csv]
 //	         [-policy all] [-backfill] [-reserve K] [-detail] [-edge]
+//	         [-trace out.json] [-events out.ndjson] [-metrics out.csv]
+//	         [-audit summary|all|ID] [-json out.json]
 //	         [-repeat N] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/capplan"
 	"repro/internal/machine"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -75,6 +93,11 @@ func main() {
 	interval := flag.Float64("interval", 0, "governor sampling interval in seconds (0 = the 25ms default; negative is rejected)")
 	edge := flag.Bool("edge", false, "retune on admission/completion edges in addition to the sampling grid")
 	detail := flag.Bool("detail", false, "print per-job tables")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline (Perfetto) to this file (needs -policy NAME)")
+	eventsPath := flag.String("events", "", "write the decision event stream as NDJSON to this file (needs -policy NAME)")
+	metricsPath := flag.String("metrics", "", "write sim-time metrics as CSV to this file (needs -policy NAME)")
+	audit := flag.String("audit", "", `print a decision audit: "summary", "all", or a job ID (needs -policy NAME)`)
+	jsonPath := flag.String("json", "", `write machine-readable results as JSON to this file ("-" = stdout)`)
 	repeat := flag.Int("repeat", 1, "run each policy's schedule N times (profiling workload)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the schedule runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the schedule runs to this file")
@@ -183,6 +206,24 @@ func main() {
 		}
 	}
 
+	// The telemetry flags record one schedule's decision stream; an
+	// interleaving of several independent schedules would attribute
+	// events to the wrong run, so they demand a single named policy.
+	telemetryOn := *tracePath != "" || *eventsPath != "" || *metricsPath != "" || *audit != ""
+	if telemetryOn && len(policies) > 1 {
+		fmt.Fprintln(os.Stderr, "-trace/-events/-metrics/-audit record a single schedule; select one policy with -policy NAME")
+		os.Exit(2)
+	}
+	auditJob := -1
+	if *audit != "" && *audit != "summary" && *audit != "all" {
+		id, err := strconv.Atoi(*audit)
+		if err != nil || id < 0 {
+			fmt.Fprintf(os.Stderr, "-audit %q: want \"summary\", \"all\", or a job ID\n", *audit)
+			os.Exit(2)
+		}
+		auditJob = id
+	}
+
 	trace := sched.SyntheticTrace(sched.TraceConfig{Jobs: *jobs, Seed: *seed})
 
 	shownRanks := clusterRanks
@@ -208,6 +249,7 @@ func main() {
 	var results []sched.Result
 	for _, pol := range policies {
 		var res sched.Result
+		var mem *telemetry.MemorySink
 		for r := 0; r < *repeat; r++ {
 			cfg := sched.Config{
 				Platform:   platform,
@@ -222,14 +264,66 @@ func main() {
 			} else {
 				cfg.Cap = units.Watts(*cap)
 			}
+			// Telemetry records only the final repetition: repetitions
+			// are identical, and the earlier ones exist purely as a
+			// profiling workload that should stay free of sink I/O.
+			var rec *telemetry.Recorder
+			var telFiles []*os.File
+			if telemetryOn && r == *repeat-1 {
+				rec = telemetry.New()
+				openSink := func(path string) *os.File {
+					f, err := os.Create(path)
+					exitOn(err)
+					telFiles = append(telFiles, f)
+					return f
+				}
+				if *eventsPath != "" {
+					rec.AddSink(telemetry.NewNDJSONSink(openSink(*eventsPath)))
+				}
+				if *tracePath != "" {
+					rec.AddSink(telemetry.NewChromeTraceSink(openSink(*tracePath)))
+				}
+				if *audit != "" {
+					mem = telemetry.NewMemorySink()
+					rec.AddSink(mem)
+				}
+				if *metricsPath != "" {
+					rec.Metrics().StreamCSV(openSink(*metricsPath))
+				}
+				cfg.Telemetry = rec
+			}
 			s, err := sched.New(cfg)
 			exitOn(err)
 			res, err = s.Run(trace)
 			exitOn(err)
+			if rec != nil {
+				exitOn(rec.Close())
+				exitOn(rec.Err())
+				exitOn(rec.Metrics().Err())
+				for _, f := range telFiles {
+					exitOn(f.Close())
+				}
+			}
 		}
 		results = append(results, res)
 		if *detail {
 			fmt.Printf("== %s ==\n%s\n", res.Policy, res.JobTable())
+		}
+		if mem != nil {
+			a := telemetry.NewAudit(mem.Events())
+			switch {
+			case *audit == "all":
+				for _, id := range a.Jobs() {
+					exitOn(a.JobReport(os.Stdout, id))
+					fmt.Println()
+				}
+				exitOn(a.Summary(os.Stdout))
+			case auditJob >= 0:
+				exitOn(a.JobReport(os.Stdout, auditJob))
+			default: // "summary"
+				exitOn(a.Summary(os.Stdout))
+			}
+			fmt.Println()
 		}
 	}
 
@@ -248,10 +342,33 @@ func main() {
 				r.Policy, r.CapUtilisation*100, r.WindowTable())
 		}
 	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		exitOn(err)
+		buf = append(buf, '\n')
+		if *jsonPath == "-" {
+			_, err = os.Stdout.Write(buf)
+		} else {
+			err = os.WriteFile(*jsonPath, buf, 0o644)
+		}
+		exitOn(err)
+	}
+
+	violated := false
 	for _, r := range results {
 		if r.CapViolations > 0 {
 			fmt.Printf("\nWARNING: %s exceeded the cap in %d of %d samples\n", r.Policy, r.CapViolations, r.Samples)
+			violated = true
 		}
+	}
+	if violated {
+		// Distinct from the usage (2) and I/O (1) exits so CI smoke jobs
+		// can assert the zero-violation guarantee on the status alone.
+		// os.Exit skips the deferred profile flush, so stop it by hand.
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(3)
 	}
 }
 

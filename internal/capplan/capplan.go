@@ -187,6 +187,14 @@ func (p *Plan) CapAt(t units.Seconds) units.Watts {
 	return p.segs[p.index(t)].Cap
 }
 
+// WindowAt returns the index and segment of the budget window in force
+// at time t — the labelling query observers use to attribute an event
+// to a plan window (the telemetry plan-edge events carry it).
+func (p *Plan) WindowAt(t units.Seconds) (int, Segment) {
+	i := p.index(t)
+	return i, p.segs[i]
+}
+
 // MinOver returns the minimum cap anywhere in [t0, t1] (inclusive of
 // both ends; a reversed interval collapses to CapAt(t0)). Admission
 // charges a job's conservative power envelope against the minimum over

@@ -153,6 +153,11 @@ type Cluster struct {
 	opActive []bool       // per rank: an operation is in flight (guards Start/CompleteOp pairing)
 	banks    []energyBank // per rank: energy banked at past operating points
 	retunes  []int64      // per rank: effective frequency changes absorbed
+
+	// onRetune observers fire after every effective SetRankFrequency (a
+	// call that changed nothing fires nothing) — the hardware-level
+	// counterpart of the scheduler's decision events.
+	onRetune []func(rank int, from, to units.Hertz)
 }
 
 // energyBank accumulates the energy a rank dissipated at earlier DVFS
@@ -304,7 +309,8 @@ func New(cfg Config) (*Cluster, error) {
 // is pool-agnostic, so heterogeneous retunes account exactly too.
 func (c *Cluster) SetRankFrequency(rank int, f units.Hertz) error {
 	r := c.checkRank(rank)
-	if c.params[r].Freq == f {
+	from := c.params[r].Freq
+	if from == f {
 		return nil
 	}
 	mp, err := c.platform.Pools[c.rankPool[r]].Spec.AtFrequency(f)
@@ -314,7 +320,18 @@ func (c *Cluster) SetRankFrequency(rank int, f units.Hertz) error {
 	c.bankRank(r)
 	c.params[r] = mp
 	c.retunes[r]++
+	for _, fn := range c.onRetune {
+		fn(r, from, f)
+	}
 	return nil
+}
+
+// OnRetune registers an observer of effective per-rank frequency
+// changes. Observers run synchronously after the change is applied (the
+// rank's vector and retune count already reflect it) and must not
+// retune ranks themselves.
+func (c *Cluster) OnRetune(fn func(rank int, from, to units.Hertz)) {
+	c.onRetune = append(c.onRetune, fn)
 }
 
 // bankRank integrates rank r's energy since its last banking point at the

@@ -62,7 +62,7 @@ type Profiler struct {
 	prevRetunes []int64
 	prevEnergy  []componentEnergy
 
-	onSample  func(Sample)
+	onSample  []func(Sample)
 	keepAlive func() bool
 }
 
@@ -73,9 +73,12 @@ type componentEnergy struct {
 
 // OnSample registers fn to run in kernel context immediately after each
 // sample is recorded — the subscription point for runtime controllers
-// (the sched package's DVFS governor closes its control loop here). At
-// most one subscriber; a second call replaces the first.
-func (p *Profiler) OnSample(fn func(Sample)) { p.onSample = fn }
+// (the sched package's DVFS governor closes its control loop here) and
+// passive observers (the telemetry recorder). Subscribers run in
+// registration order, so a controller registered before an observer acts
+// before the observer records — registration order is part of the
+// control-plane contract, not an accident of last-wins.
+func (p *Profiler) OnSample(fn func(Sample)) { p.onSample = append(p.onSample, fn) }
 
 // KeepSampling keeps the sampling loop armed while alive() returns true
 // even when no simulated process is currently live. Without it the
@@ -189,8 +192,8 @@ func (p *Profiler) record() {
 	}
 	s.Total = s.CPU + s.Memory + s.IO + s.Other
 	p.samples = append(p.samples, s)
-	if p.onSample != nil {
-		p.onSample(s)
+	for _, fn := range p.onSample {
+		fn(s)
 	}
 }
 

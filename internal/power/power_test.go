@@ -284,6 +284,48 @@ func TestOnSampleAndKeepSampling(t *testing.T) {
 	}
 }
 
+// OnSample supports multiple subscribers, delivered in registration
+// order — a telemetry observer must not evict the scheduler's governor
+// hook (nor vice versa).
+func TestOnSampleMultipleSubscribers(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{Spec: testSpec(), Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Attach(cl, units.Millisecond, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	first, second := 0, 0
+	prof.OnSample(func(Sample) {
+		first++
+		order = append(order, "first")
+	})
+	prof.OnSample(func(Sample) {
+		second++
+		order = append(order, "second")
+	})
+	cl.Kernel().Spawn("work", func(p *sim.Proc) {
+		cl.Compute(p, 0, 1e7, 0)
+	})
+	if err := cl.Kernel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(prof.Profile().Samples)
+	if n == 0 {
+		t.Fatal("no samples recorded")
+	}
+	if first != n || second != n {
+		t.Fatalf("subscribers saw %d/%d of %d samples — one evicted the other", first, second, n)
+	}
+	for i := 0; i+1 < len(order); i += 2 {
+		if order[i] != "first" || order[i+1] != "second" {
+			t.Fatalf("subscribers ran out of registration order at sample %d: %v", i/2, order[i:i+2])
+		}
+	}
+}
+
 // EnergyBetween slices the integrated trace along arbitrary boundaries:
 // whole-span equals Energy, windows straddling an endpoint contribute
 // pro rata, disjoint slices sum back to the total, and out-of-range

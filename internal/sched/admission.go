@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/opcache"
 	"repro/internal/units"
@@ -185,6 +187,87 @@ func (s *Scheduler) bestCandidate(j Job, free []int, budget units.Watts, obj ana
 		return bestDL, true
 	}
 	return best, found
+}
+
+// blockReason classifies why a queued job was not admitted at the edge
+// that just settled: it replays bestCandidate's grid walk against the
+// live cluster state, recording which rule eliminated the last
+// surviving candidates. Telemetry-only (the admission path never calls
+// it), so the extra grid walk costs nothing when tracing is off; the
+// rows are op-cache hits either way.
+func (s *Scheduler) blockReason(j Job) string {
+	free := s.freeByPool()
+	budget := s.headroom()
+	now := s.cl.Kernel().Now()
+	refTp, ok := s.referenceTp(j)
+	if !ok {
+		return "model: no width of any pool evaluates"
+	}
+	maxTp := units.Seconds(float64(refTp) * s.perfSlack())
+	var ctrl units.Watts
+	if s.cfg.Plan != nil {
+		ctrl = s.controlCap(now)
+	}
+	anyWidth, anyEligible, fitsBudget, fitsPlan := false, false, false, false
+	for pi := range s.pools {
+		ps := &s.pools[pi]
+		ws := j.widths(free[pi])
+		if len(ws) == 0 {
+			continue
+		}
+		anyWidth = true
+		for _, p := range ws {
+			row, err := ps.cache.Row(j.ID, j.Vector, j.N, p)
+			if err != nil {
+				return "model: a grid row fails to evaluate"
+			}
+			if fastestTp(row) > maxTp {
+				continue
+			}
+			anyEligible = true
+			for fi := range ps.ladder {
+				cost := s.marginalCost(pi, row.Draw[fi], p)
+				if cost > budget {
+					continue
+				}
+				fitsBudget = true
+				if s.cfg.Plan != nil && cost > s.narrowToLifetime(ctrl, now, budget, row.Pred[fi].Tp) {
+					continue
+				}
+				fitsPlan = true
+				c := Candidate{
+					Pool:  pi,
+					Point: analysis.Point{Pool: ps.name, P: p, Freq: ps.ladder[fi], N: j.N, Prediction: row.Pred[fi]},
+					Cost:  cost,
+				}
+				if !permitted(s.rsvs, j.ID, now, c) {
+					continue
+				}
+				return "policy: a feasible point exists but the policy declined it"
+			}
+		}
+	}
+	switch {
+	case !anyWidth:
+		return fmt.Sprintf("ranks: no candidate width fits the %d free ranks", sum(free))
+	case !anyEligible:
+		return fmt.Sprintf("perf-slack: every width that fits free ranks runs over %.1fx the job's fastest time", s.perfSlack())
+	case !fitsBudget:
+		return fmt.Sprintf("watts: no eligible point fits the %.1f W headroom", float64(budget))
+	case !fitsPlan:
+		return "plan-min-cap: fits the current window but not the minimum cap over its predicted lifetime"
+	default:
+		return "reservation: every affordable point would delay a reserved start"
+	}
+}
+
+// sum totals an int slice.
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
 }
 
 // fastestTp returns a row's best runtime over the ladder.

@@ -179,6 +179,11 @@ func (b backfillPolicy) Admit(ctx *AdmitContext) {
 	}
 	if !ctx.shadow {
 		ctx.s.rsvs = rsvs
+		if ctx.s.tel != nil {
+			for _, rsv := range rsvs {
+				ctx.s.tel.emitReserve(rsv)
+			}
+		}
 	}
 	ctx.rsvs = rsvs
 

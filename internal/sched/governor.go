@@ -55,6 +55,9 @@ func (g *governor) onSample(sm power.Sample) {
 	cap := g.s.capAt(sm.T)
 	if float64(sm.Total) > float64(cap)*(1+capEpsilon) {
 		g.violations++
+		if g.s.tel != nil {
+			g.s.tel.emitViolation(sm, cap)
+		}
 	}
 	if !g.s.cfg.Policy.DVFS() {
 		return
@@ -94,7 +97,7 @@ func (g *governor) throttle() {
 		if victim == nil {
 			return // everything already at the ladder floor
 		}
-		g.retune(victim, victim.fIdx-1)
+		g.retune(victim, victim.fIdx-1, "shed draw to the control cap")
 	}
 }
 
@@ -165,7 +168,11 @@ func (g *governor) boost() {
 					}
 				}
 			}
-			g.retune(rj, next)
+			why := "blocked queue: spare watts loaned"
+			if drain {
+				why = "race to idle: queue empty"
+			}
+			g.retune(rj, next, why)
 			changed = true
 		}
 		if !changed {
@@ -190,7 +197,7 @@ func (g *governor) relinquish() {
 			floor = rj.admIdx
 		}
 		if rj.fIdx > floor {
-			g.retune(rj, floor)
+			g.retune(rj, floor, "relinquish loaned watts to admission")
 		}
 	}
 }
@@ -201,7 +208,11 @@ func (g *governor) relinquish() {
 // Work already in flight keeps its issued duration; subsequent slices
 // use the new vector. Model progress is re-priced at the boundary so
 // predicted completions (backfill's shadow clock) stay piecewise-exact.
-func (g *governor) retune(rj *runningJob, idx int) {
+func (g *governor) retune(rj *runningJob, idx int, why string) {
+	if g.s.tel != nil {
+		// Decision first, then the per-rank hardware events it causes.
+		g.s.tel.emitRetune(rj, rj.fIdx, idx, why)
+	}
 	now := g.s.cl.Kernel().Now()
 	if tp := rj.prof.Pred[rj.fIdx].Tp; tp > 0 {
 		rj.progress += float64(now-rj.pricedAt) / float64(tp)

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -222,6 +223,66 @@ func (s *Scheduler) collectWindows() ([]WindowStat, float64) {
 		util = float64(prof.EnergyBetween(0, horizon)) / capIntegral
 	}
 	return stats, util
+}
+
+// MarshalJSON renders the state as its name ("queued", "done", …) so
+// machine-readable dumps stay stable if the iota order ever changes.
+func (s JobState) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// MarshalJSON flattens the record for the schedrun -json dump, reducing
+// the embedded application vector to its name: the vector's workload
+// model is Go closures, which encoding/json cannot carry (and no
+// consumer could call). Everything else a consumer can act on — the
+// admitted operating point, timings, energy, deadline outcome — is
+// kept, in snake_case with units suffixed.
+func (j JobResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		ID          int           `json:"id"`
+		App         string        `json:"app"`
+		N           float64       `json:"n"`
+		MinWidth    int           `json:"min_width,omitempty"`
+		MaxWidth    int           `json:"max_width"`
+		Priority    int           `json:"priority,omitempty"`
+		Arrival     units.Seconds `json:"arrival_s"`
+		Deadline    units.Seconds `json:"deadline_s,omitempty"`
+		State       JobState      `json:"state"`
+		Reason      string        `json:"reason,omitempty"`
+		Pool        string        `json:"pool,omitempty"`
+		P           int           `json:"p,omitempty"`
+		StartFreq   units.Hertz   `json:"f_hz,omitempty"`
+		FreqChanges int           `json:"freq_changes,omitempty"`
+		Backfilled  bool          `json:"backfilled,omitempty"`
+		Start       units.Seconds `json:"start_s"`
+		End         units.Seconds `json:"end_s"`
+		Wait        units.Seconds `json:"wait_s"`
+		Energy      units.Joules  `json:"energy_j"`
+		ModelEE     float64       `json:"model_ee,omitempty"`
+		DeadlineMet bool          `json:"deadline_met,omitempty"`
+	}{
+		ID:          j.ID,
+		App:         j.Vector.Name,
+		N:           j.N,
+		MinWidth:    j.MinWidth,
+		MaxWidth:    j.MaxWidth,
+		Priority:    j.Priority,
+		Arrival:     j.Arrival,
+		Deadline:    j.Deadline,
+		State:       j.State,
+		Reason:      j.Reason,
+		Pool:        j.Pool,
+		P:           j.P,
+		StartFreq:   j.StartFreq,
+		FreqChanges: j.FreqChanges,
+		Backfilled:  j.Backfilled,
+		Start:       j.Start,
+		End:         j.End,
+		Wait:        j.Wait,
+		Energy:      j.Energy,
+		ModelEE:     j.ModelEE,
+		DeadlineMet: j.DeadlineMet,
+	})
 }
 
 // WindowTable renders the per-budget-window accounting of a plan run.

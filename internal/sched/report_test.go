@@ -1,0 +1,193 @@
+package sched
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/capplan"
+	"repro/internal/machine"
+	"repro/internal/units"
+)
+
+// reportResult runs one small plan schedule whose result exercises
+// every table column: completed and rejected jobs, a backfilled job,
+// retunes, and multiple budget windows.
+func reportResult(t *testing.T) Result {
+	t.Helper()
+	trace := SyntheticTrace(TraceConfig{Jobs: 24, Seed: 11, MaxWidth: 8})
+	plan := mustSteps(t,
+		capplan.Segment{Start: 0, Cap: 900},
+		capplan.Segment{Start: 0.2, Cap: 700},
+		capplan.Segment{Start: 0.4, Cap: 900},
+	)
+	s, err := New(Config{
+		Platform: machine.Homogeneous(testSpec()), Ranks: 16,
+		Plan: plan, Policy: Backfill(EEMax()), Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// fields returns the non-empty lines of a rendered table.
+func tableLines(t *testing.T, s string) []string {
+	t.Helper()
+	var lines []string
+	sc := bufio.NewScanner(strings.NewReader(s))
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) != "" {
+			lines = append(lines, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// JobTable renders one row per job, in trace order, with the admitted
+// operating point for completed jobs and a "-" pool for never-started
+// ones.
+func TestJobTable(t *testing.T) {
+	res := reportResult(t)
+	lines := tableLines(t, res.JobTable())
+	if len(lines) != len(res.Jobs)+1 {
+		t.Fatalf("JobTable has %d lines for %d jobs + header", len(lines), len(res.Jobs))
+	}
+	header := lines[0]
+	for _, col := range []string{"job", "app", "pool", "state", "p", "f[GHz]", "energy", "EE", "retunes", "bf"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("JobTable header lacks %q: %q", col, header)
+		}
+	}
+	for i, jr := range res.Jobs {
+		row := lines[i+1]
+		cols := strings.Fields(row)
+		if cols[0] != jsonNumber(jr.ID) {
+			t.Fatalf("row %d starts with %q, want job ID %d", i, cols[0], jr.ID)
+		}
+		if !strings.Contains(row, jr.Vector.Name) {
+			t.Fatalf("row for job %d lacks app %q: %q", jr.ID, jr.Vector.Name, row)
+		}
+		if !strings.Contains(row, jr.State.String()) {
+			t.Fatalf("row for job %d lacks state %q: %q", jr.ID, jr.State, row)
+		}
+		if jr.State == Done && !strings.Contains(row, jr.Pool) {
+			t.Fatalf("row for completed job %d lacks pool %q: %q", jr.ID, jr.Pool, row)
+		}
+		if jr.Backfilled && !strings.HasSuffix(strings.TrimRight(row, " "), "y") {
+			t.Fatalf("row for backfilled job %d lacks the bf marker: %q", jr.ID, row)
+		}
+	}
+}
+
+// WindowTable renders one row per budget window with the plan's caps.
+func TestWindowTable(t *testing.T) {
+	res := reportResult(t)
+	if len(res.Windows) < 3 {
+		t.Fatalf("plan run yielded %d windows, want >= 3", len(res.Windows))
+	}
+	lines := tableLines(t, res.WindowTable())
+	if len(lines) != len(res.Windows)+1 {
+		t.Fatalf("WindowTable has %d lines for %d windows + header", len(lines), len(res.Windows))
+	}
+	for _, col := range []string{"window", "cap", "samples", "energy", "meanW", "util", "viol"} {
+		if !strings.Contains(lines[0], col) {
+			t.Fatalf("WindowTable header lacks %q: %q", col, lines[0])
+		}
+	}
+	// The squeeze window's cap must appear verbatim in its own row.
+	if !strings.Contains(lines[2], "700") {
+		t.Fatalf("squeeze row lacks its 700 W cap: %q", lines[2])
+	}
+}
+
+// ComparisonTable renders one row per result, keyed by policy name.
+func TestComparisonTable(t *testing.T) {
+	res := reportResult(t)
+	other := res
+	other.Policy = "fifo"
+	lines := tableLines(t, ComparisonTable([]Result{res, other}))
+	if len(lines) != 3 {
+		t.Fatalf("ComparisonTable has %d lines, want header + 2 rows", len(lines))
+	}
+	for _, col := range []string{"policy", "makespan", "done", "rej", "energy/job", "meanEE", "maxwait", "viol", "retunes", "bfill"} {
+		if !strings.Contains(lines[0], col) {
+			t.Fatalf("header lacks %q: %q", col, lines[0])
+		}
+	}
+	if !strings.HasPrefix(lines[1], res.Policy) {
+		t.Fatalf("first row is %q, want policy %q first", lines[1], res.Policy)
+	}
+	if !strings.HasPrefix(lines[2], "fifo") {
+		t.Fatalf("second row is %q, want fifo first", lines[2])
+	}
+	if res.BackfilledJobs > 0 && !strings.Contains(strings.Fields(lines[1])[len(strings.Fields(lines[1]))-1], jsonNumber(res.BackfilledJobs)) {
+		t.Fatalf("backfill count %d missing from row: %q", res.BackfilledJobs, lines[1])
+	}
+}
+
+// Result.String is the one-line summary.
+func TestResultString(t *testing.T) {
+	res := reportResult(t)
+	s := res.String()
+	for _, want := range []string{res.Policy, "done", "rejected", "makespan"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary lacks %q: %q", want, s)
+		}
+	}
+}
+
+// The -json dump must round-trip through encoding/json: the app vector
+// flattens to its name, the state to its string, and the admitted
+// operating point survives.
+func TestResultJSON(t *testing.T) {
+	res := reportResult(t)
+	buf, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Policy string `json:"Policy"`
+		Jobs   []struct {
+			ID    int           `json:"id"`
+			App   string        `json:"app"`
+			State string        `json:"state"`
+			Pool  string        `json:"pool"`
+			P     int           `json:"p"`
+			F     units.Hertz   `json:"f_hz"`
+			Wait  units.Seconds `json:"wait_s"`
+		} `json:"Jobs"`
+	}
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Policy != res.Policy {
+		t.Fatalf("policy %q round-tripped as %q", res.Policy, out.Policy)
+	}
+	if len(out.Jobs) != len(res.Jobs) {
+		t.Fatalf("%d jobs round-tripped as %d", len(res.Jobs), len(out.Jobs))
+	}
+	for i, jr := range res.Jobs {
+		oj := out.Jobs[i]
+		if oj.ID != jr.ID || oj.App != jr.Vector.Name || oj.State != jr.State.String() {
+			t.Fatalf("job %d marshalled as %+v", jr.ID, oj)
+		}
+		if jr.State == Done && (oj.Pool != jr.Pool || oj.P != jr.P || oj.F != jr.StartFreq) {
+			t.Fatalf("job %d operating point marshalled as %+v, want %s/%d/%v", jr.ID, oj, jr.Pool, jr.P, jr.StartFreq)
+		}
+	}
+}
+
+// jsonNumber formats an int the way both tables and JSON render it.
+func jsonNumber(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}

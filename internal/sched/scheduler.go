@@ -9,6 +9,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/opcache"
 	"repro/internal/power"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -55,6 +56,13 @@ type Config struct {
 	// NoisyMeter perturbs the profiler's readings like a physical power
 	// meter. Off by default so the audit trail is exact.
 	NoisyMeter bool
+	// Telemetry, when non-nil, receives the run's decision stream
+	// (admissions, rejections with reasons, governor retunes, plan
+	// edges, power samples) and sim-time metrics — see
+	// internal/telemetry. Nil (the default) compiles every emit site to
+	// an untaken branch: no events, no allocations, schedules
+	// byte-identical to an uninstrumented run.
+	Telemetry *telemetry.Recorder
 	// PerfSlack bounds how much service quality an EE-optimising
 	// admission may trade away: a width is only eligible if its best
 	// runtime over the DVFS ladder stays within PerfSlack × the job's
@@ -89,6 +97,9 @@ type Scheduler struct {
 	cl   *cluster.Cluster
 	prof *power.Profiler
 	gov  *governor
+	// tel is the telemetry glue, nil when Config.Telemetry is nil;
+	// every emit site guards on it (internal/sched/telemetry.go).
+	tel *schedTelemetry
 
 	// pools mirror Config.Platform.Pools; every candidate names the pool
 	// that priced it and rank assignment draws from that pool's free
@@ -462,6 +473,12 @@ func (s *Scheduler) Run(jobs []Job) (Result, error) {
 	}
 	s.prof = prof
 	s.gov = &governor{s: s}
+	if s.cfg.Telemetry.Enabled() {
+		s.tel = newSchedTelemetry(s, s.cfg.Telemetry)
+		// Observer before controller: the stream records the measured
+		// sample, then the governor's reaction to it.
+		prof.OnSample(s.tel.onSample)
+	}
 	prof.OnSample(s.gov.onSample)
 	prof.KeepSampling(func() bool { return s.remaining > 0 })
 
@@ -504,6 +521,9 @@ func (s *Scheduler) arrive(e *entry) {
 		return
 	}
 	s.queue = append(s.queue, e)
+	if s.tel != nil {
+		s.tel.emitArrive(e)
+	}
 	s.tryAdmit()
 }
 
@@ -513,6 +533,9 @@ func (s *Scheduler) reject(e *entry, reason string) {
 	e.res.Reason = reason
 	s.remaining--
 	s.cache.Forget(e.job.ID)
+	if s.tel != nil {
+		s.tel.emitReject(e, reason)
+	}
 }
 
 // tryAdmit asks the policy for admissions against the current cluster
@@ -533,6 +556,11 @@ func (s *Scheduler) tryAdmit() {
 	defer func() {
 		s.blocked = len(s.queue) > 0
 		s.edgeRetune()
+		// The edge snapshot (blocked-job attempts, metrics row) is
+		// taken after edgeRetune so it reflects the settled state.
+		if s.tel != nil {
+			s.tel.edge()
+		}
 	}()
 	if len(s.queue) == 0 {
 		return
@@ -659,6 +687,9 @@ func (s *Scheduler) schedulePlanEdges() {
 // a rise — regardless of Config.EdgeRetune, which gates only the
 // admission/completion edges.
 func (s *Scheduler) planEdge(preDrop bool) {
+	if s.tel != nil {
+		s.tel.emitPlanEdge(preDrop)
+	}
 	dvfs := s.cfg.Policy.DVFS()
 	if dvfs {
 		s.gov.throttle()
@@ -703,9 +734,14 @@ func (s *Scheduler) admitPass(relaxed bool) int {
 	}
 	s.cfg.Policy.Admit(ctx)
 	s.headBypasses += ctx.bypasses
+	if s.tel != nil {
+		s.tel.bypasses.Add(float64(ctx.bypasses))
+	}
 
-	for _, adm := range ctx.admitted {
-		s.start(s.entries[adm.jobID], adm.cand, adm.backfilled)
+	for i, adm := range ctx.admitted {
+		// Admitted jobs stay in s.queue until the prune below, so the
+		// post-admission depth subtracts the starts already dispatched.
+		s.start(s.entries[adm.jobID], adm.cand, adm.backfilled, len(s.queue)-(i+1))
 	}
 	if len(ctx.admitted) > 0 {
 		kept := s.queue[:0]
@@ -721,8 +757,9 @@ func (s *Scheduler) admitPass(relaxed bool) int {
 
 // start dispatches a job onto the lowest free ranks of the candidate's
 // pool at the candidate operating point and launches its event-driven
-// execution.
-func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool) {
+// execution. queueAfter is the queue depth once this admission is
+// pruned (telemetry labelling only).
+func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool, queueAfter int) {
 	now := s.cl.Kernel().Now()
 	j := e.job
 	ps := &s.pools[cand.Pool]
@@ -788,6 +825,10 @@ func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool) {
 	e.res.Wait = now - j.Arrival
 	e.res.ModelEE = cand.EE
 	e.res.Backfilled = backfilled
+
+	if s.tel != nil {
+		s.tel.emitAdmit(rj, cand, backfilled, queueAfter)
+	}
 
 	if s.lockstep && !s.forceRankChains {
 		s.runJob(rj)
@@ -901,6 +942,9 @@ func (s *Scheduler) finish(rj *runningJob) {
 	res.DeadlineMet = rj.e.job.Deadline <= 0 || now <= rj.e.job.Arrival+rj.e.job.Deadline
 	s.remaining--
 	s.cache.Forget(rj.e.job.ID)
+	if s.tel != nil {
+		s.tel.emitFinish(rj)
+	}
 
 	s.tryAdmit()
 }

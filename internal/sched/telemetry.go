@@ -1,0 +1,248 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// schedTelemetry binds a telemetry.Recorder to one scheduler run: the
+// metric handles registered at Run plus the emit helpers the scheduling
+// edges call. Scheduler.tel is nil when Config.Telemetry is nil, and
+// every emit site is guarded on that pointer, so the disabled path
+// constructs no events, formats no reasons, and allocates nothing — the
+// golden tests pin the resulting schedules byte-identical.
+type schedTelemetry struct {
+	s   *Scheduler
+	rec *telemetry.Recorder
+
+	admitted   *telemetry.Counter
+	rejected   *telemetry.Counter
+	finished   *telemetry.Counter
+	bypasses   *telemetry.Counter
+	retunes    *telemetry.Counter
+	violations *telemetry.Counter
+	queueDepth *telemetry.Gauge
+	headroomW  *telemetry.Gauge
+	freeRanks  []*telemetry.Gauge
+	waitHist   *telemetry.Histogram
+}
+
+// newSchedTelemetry wires the recorder into a run: sim-time clock,
+// metrics registry, and the cluster's hardware retune hook. Called from
+// Run before any event can fire.
+func newSchedTelemetry(s *Scheduler, rec *telemetry.Recorder) *schedTelemetry {
+	rec.SetClock(s.cl.Kernel())
+	m := rec.Metrics()
+	t := &schedTelemetry{
+		s:          s,
+		rec:        rec,
+		admitted:   m.Counter("admitted"),
+		rejected:   m.Counter("rejected"),
+		finished:   m.Counter("finished"),
+		bypasses:   m.Counter("head_bypasses"),
+		retunes:    m.RateCounter("rank_retunes"),
+		violations: m.Counter("cap_violations"),
+		queueDepth: m.Gauge("queue_depth"),
+		headroomW:  m.Gauge("headroom_w"),
+		// Wait-time buckets span sub-interval admissions out to long
+		// plan-window parks (seconds).
+		waitHist: m.Histogram("wait_s", 0.01, 0.1, 1, 10, 60, 600),
+	}
+	t.freeRanks = make([]*telemetry.Gauge, len(s.pools))
+	for i := range s.pools {
+		t.freeRanks[i] = m.Gauge("free_" + s.pools[i].name)
+	}
+	// Every effective per-rank frequency change — admission dispatch,
+	// governor retune, parking at finish — becomes a hardware-level
+	// event under the decision that caused it.
+	s.cl.OnRetune(func(rank int, from, to units.Hertz) {
+		t.retunes.Inc()
+		t.rec.Emit(telemetry.Event{
+			Kind:     telemetry.EvRankRetune,
+			Job:      telemetry.NoJob,
+			Rank:     rank,
+			FreqFrom: from,
+			Freq:     to,
+		})
+	})
+	return t
+}
+
+// onSample forwards a profiler sample into the event stream. Registered
+// before the governor's control hook, so the stream shows the
+// measurement first and the control reaction (throttles, violations)
+// after it — the order they logically happen in.
+func (t *schedTelemetry) onSample(sm power.Sample) {
+	t.rec.Emit(telemetry.Event{
+		Kind:  telemetry.EvSample,
+		Job:   telemetry.NoJob,
+		Power: sm.Total,
+		Cap:   t.s.capAt(sm.T),
+	})
+}
+
+// edge closes a scheduling edge: one attempt event per still-blocked
+// job naming the binding constraint, gauges refreshed, and one metrics
+// row sampled — so the CSV is a consistent snapshot at every decision
+// point. Runs after edgeRetune so the snapshot reflects the settled
+// state.
+func (t *schedTelemetry) edge() {
+	now := t.s.cl.Kernel().Now()
+	for i, e := range t.s.queue {
+		t.rec.Emit(telemetry.Event{
+			Kind:   telemetry.EvAttempt,
+			Job:    e.job.ID,
+			App:    e.job.Vector.Name,
+			Reason: t.s.blockReason(e.job),
+			Queue:  len(t.s.queue) - i, // jobs at or behind this one
+		})
+	}
+	t.queueDepth.Set(float64(len(t.s.queue)))
+	t.headroomW.Set(float64(t.s.headroom()))
+	for i := range t.s.pools {
+		t.freeRanks[i].Set(float64(len(t.s.pools[i].free)))
+	}
+	t.rec.Metrics().Sample(now)
+}
+
+// emitArrive records a job entering the queue.
+func (t *schedTelemetry) emitArrive(e *entry) {
+	t.rec.Emit(telemetry.Event{
+		Kind:  telemetry.EvArrive,
+		Job:   e.job.ID,
+		App:   e.job.Vector.Name,
+		P:     e.job.MaxWidth,
+		Queue: len(t.s.queue),
+	})
+}
+
+// emitReject records a job that can never run.
+func (t *schedTelemetry) emitReject(e *entry, reason string) {
+	t.rejected.Inc()
+	t.rec.Emit(telemetry.Event{
+		Kind:   telemetry.EvReject,
+		Job:    e.job.ID,
+		App:    e.job.Vector.Name,
+		Reason: reason,
+	})
+}
+
+// emitAdmit records a dispatch: the chosen operating point, its
+// predicted cost and runtime, and the cluster state left behind.
+// queueAfter is the queue depth once this admission is pruned.
+func (t *schedTelemetry) emitAdmit(rj *runningJob, cand Candidate, backfilled bool, queueAfter int) {
+	t.admitted.Inc()
+	t.waitHist.Observe(float64(rj.e.res.Wait))
+	ps := &t.s.pools[cand.Pool]
+	t.rec.Emit(telemetry.Event{
+		Kind:       telemetry.EvAdmit,
+		Job:        rj.e.job.ID,
+		App:        rj.e.job.Vector.Name,
+		Pool:       ps.name,
+		P:          cand.P,
+		Ranks:      rj.ranks,
+		Freq:       cand.Freq,
+		Watts:      cand.Cost,
+		EE:         cand.EE,
+		Wait:       rj.e.res.Wait,
+		Dur:        cand.Tp,
+		Headroom:   t.s.headroom(),
+		Free:       len(ps.free),
+		Queue:      queueAfter,
+		Backfilled: backfilled,
+	})
+}
+
+// emitFinish records a completion and the capacity it released.
+func (t *schedTelemetry) emitFinish(rj *runningJob) {
+	t.finished.Inc()
+	res := &rj.e.res
+	ps := &t.s.pools[rj.pool]
+	t.rec.Emit(telemetry.Event{
+		Kind:     telemetry.EvFinish,
+		Job:      rj.e.job.ID,
+		App:      rj.e.job.Vector.Name,
+		Pool:     ps.name,
+		P:        res.FreqChanges,
+		Ranks:    rj.ranks,
+		Dur:      res.End - res.Start,
+		Energy:   res.Energy,
+		Headroom: t.s.headroom(),
+		Free:     len(ps.free),
+		Queue:    len(t.s.queue),
+	})
+}
+
+// emitReserve records a backfill promise.
+func (t *schedTelemetry) emitReserve(rsv *reservation) {
+	app := ""
+	if e, ok := t.s.entries[rsv.jobID]; ok {
+		app = e.job.Vector.Name
+	}
+	t.rec.Emit(telemetry.Event{
+		Kind:  telemetry.EvReserve,
+		Job:   rsv.jobID,
+		App:   app,
+		Pool:  t.s.pools[rsv.pool].name,
+		P:     rsv.p,
+		Watts: rsv.cost,
+		At:    rsv.at,
+		Dur:   rsv.dur,
+	})
+}
+
+// emitRetune records a governor ladder move with its before/after
+// operating points.
+func (t *schedTelemetry) emitRetune(rj *runningJob, from, to int, why string) {
+	kind := telemetry.EvThrottle
+	if to > from {
+		kind = telemetry.EvBoost
+	}
+	ladder := t.s.ladderOf(rj)
+	t.rec.Emit(telemetry.Event{
+		Kind:      kind,
+		Job:       rj.e.job.ID,
+		App:       rj.e.job.Vector.Name,
+		Pool:      t.s.pools[rj.pool].name,
+		FreqFrom:  ladder[from],
+		Freq:      ladder[to],
+		WattsFrom: rj.prof.Draw[from],
+		Watts:     rj.prof.Draw[to],
+		Reason:    why,
+	})
+}
+
+// emitPlanEdge records a cap-timeline breakpoint edge. Cap is the
+// control cap now enforced — at a pre-drop edge that is already the
+// incoming (lower) budget, which is exactly what the governor throttles
+// to.
+func (t *schedTelemetry) emitPlanEdge(preDrop bool) {
+	now := t.s.cl.Kernel().Now()
+	reason := ""
+	if preDrop {
+		reason = "pre-drop"
+	} else if t.s.cfg.Plan != nil {
+		i, _ := t.s.cfg.Plan.WindowAt(now)
+		reason = fmt.Sprintf("window %d", i)
+	}
+	t.rec.Emit(telemetry.Event{
+		Kind:   telemetry.EvPlanEdge,
+		Job:    telemetry.NoJob,
+		Cap:    t.s.controlCap(now),
+		Reason: reason,
+	})
+}
+
+// emitViolation records a measured sample exceeding its cap.
+func (t *schedTelemetry) emitViolation(sm power.Sample, cap units.Watts) {
+	t.violations.Inc()
+	t.rec.Emit(telemetry.Event{
+		Kind:  telemetry.EvViolation,
+		Job:   telemetry.NoJob,
+		Power: sm.Total,
+		Cap:   cap,
+	})
+}

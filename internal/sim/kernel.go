@@ -116,6 +116,16 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
+// Clock is a read-only view of a virtual clock. The kernel implements
+// it; consumers that only need timestamps (the telemetry recorder) take
+// a Clock instead of the whole kernel so they can never schedule events
+// or perturb the simulation.
+type Clock interface {
+	Now() units.Seconds
+}
+
+var _ Clock = (*Kernel)(nil)
+
 // Kernel is a discrete-event simulator instance.
 type Kernel struct {
 	now    units.Seconds

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Audit renders the decision stream as plain text: the answer to "why
+// did job N wait / throttle / get rejected" without leaving the
+// terminal. It works over a retained event slice (normally a
+// MemorySink's), so it is the one consumer that trades bounded memory
+// for random access.
+type Audit struct {
+	events []Event
+}
+
+// NewAudit wraps an event slice (emission order) for rendering.
+func NewAudit(events []Event) *Audit { return &Audit{events: events} }
+
+// Jobs returns the sorted IDs of every job that appears in the stream.
+func (a *Audit) Jobs() []int {
+	seen := map[int]bool{}
+	for _, ev := range a.events {
+		if ev.Job != NoJob {
+			seen[ev.Job] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Violations returns every cap-violation event in the stream.
+func (a *Audit) Violations() []Event {
+	var out []Event
+	for _, ev := range a.events {
+		if ev.Kind == EvViolation {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func ghz(f units.Hertz) string { return fmt.Sprintf("%.2fGHz", float64(f)/1e9) }
+
+// line renders one event as an audit line (without the job prefix).
+func line(ev Event) string {
+	switch ev.Kind {
+	case EvArrive:
+		return fmt.Sprintf("arrive     wants p=%d, queue depth %d", ev.P, ev.Queue)
+	case EvAttempt:
+		return fmt.Sprintf("blocked    %s", ev.Reason)
+	case EvAdmit:
+		via := ""
+		if ev.Backfilled {
+			via = "  (backfilled)"
+		}
+		return fmt.Sprintf("admit      pool=%s p=%d f=%s w=%.1fW ee=%.3f wait=%.1fs%s",
+			ev.Pool, ev.P, ghz(ev.Freq), float64(ev.Watts), ev.EE, float64(ev.Wait), via)
+	case EvReject:
+		return fmt.Sprintf("reject     %s", ev.Reason)
+	case EvFinish:
+		return fmt.Sprintf("finish     dur=%.1fs energy=%.0fJ retunes=%d",
+			float64(ev.Dur), float64(ev.Energy), ev.P)
+	case EvReserve:
+		return fmt.Sprintf("reserve    pool=%s p=%d w=%.1fW window [%.1fs, %.1fs)",
+			ev.Pool, ev.P, float64(ev.Watts), float64(ev.At), float64(ev.At+ev.Dur))
+	case EvThrottle:
+		return fmt.Sprintf("throttle   %s -> %s (%.1fW -> %.1fW): %s",
+			ghz(ev.FreqFrom), ghz(ev.Freq), float64(ev.WattsFrom), float64(ev.Watts), ev.Reason)
+	case EvBoost:
+		return fmt.Sprintf("boost      %s -> %s (%.1fW -> %.1fW): %s",
+			ghz(ev.FreqFrom), ghz(ev.Freq), float64(ev.WattsFrom), float64(ev.Watts), ev.Reason)
+	case EvRankRetune:
+		return fmt.Sprintf("retune     rank %d %s -> %s", ev.Rank, ghz(ev.FreqFrom), ghz(ev.Freq))
+	case EvPlanEdge:
+		label := ""
+		if ev.Reason != "" {
+			label = " (" + ev.Reason + ")"
+		}
+		return fmt.Sprintf("plan-edge  cap now %.1fW%s", float64(ev.Cap), label)
+	case EvViolation:
+		return fmt.Sprintf("VIOLATION  measured %.2fW over cap %.1fW", float64(ev.Power), float64(ev.Cap))
+	case EvSample:
+		return fmt.Sprintf("sample     %.2fW of %.1fW", float64(ev.Power), float64(ev.Cap))
+	}
+	return "?"
+}
+
+// JobReport writes job id's full lifecycle — every event scoped to it,
+// chronological, one line each. Power samples are omitted (they are not
+// job-scoped); rank retunes of the job's ranks appear only via
+// throttle/boost lines, which carry the decision context.
+func (a *Audit) JobReport(w io.Writer, id int) error {
+	app := ""
+	n := 0
+	for _, ev := range a.events {
+		if ev.Job == id && ev.App != "" {
+			app = ev.App
+			break
+		}
+	}
+	label := fmt.Sprintf("job %d", id)
+	if app != "" {
+		label += " (" + app + ")"
+	}
+	if _, err := fmt.Fprintf(w, "%s:\n", label); err != nil {
+		return err
+	}
+	for _, ev := range a.events {
+		if ev.Job != id {
+			continue
+		}
+		n++
+		if _, err := fmt.Fprintf(w, "  t=%10.3f  %s\n", float64(ev.T), line(ev)); err != nil {
+			return err
+		}
+	}
+	if n == 0 {
+		_, err := fmt.Fprintf(w, "  (no events)\n")
+		return err
+	}
+	return nil
+}
+
+// Summary writes stream-wide totals: event counts per kind, blocked
+// reasons ranked by frequency, and the violation count — the ten-second
+// answer to "what did this run do".
+func (a *Audit) Summary(w io.Writer) error {
+	counts := map[Kind]int{}
+	reasons := map[string]int{}
+	for _, ev := range a.events {
+		counts[ev.Kind]++
+		if ev.Kind == EvAttempt && ev.Reason != "" {
+			reasons[ev.Reason]++
+		}
+	}
+	if _, err := fmt.Fprintf(w, "events: %d total\n", len(a.events)); err != nil {
+		return err
+	}
+	for k := Kind(0); int(k) < len(kindNames); k++ {
+		if counts[k] == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %-10s %d\n", k.String(), counts[k]); err != nil {
+			return err
+		}
+	}
+	if len(reasons) > 0 {
+		keys := make([]string, 0, len(reasons))
+		for r := range reasons {
+			keys = append(keys, r)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if reasons[keys[i]] != reasons[keys[j]] {
+				return reasons[keys[i]] > reasons[keys[j]]
+			}
+			return keys[i] < keys[j]
+		})
+		if _, err := fmt.Fprintf(w, "blocked-on (admission attempts):\n"); err != nil {
+			return err
+		}
+		for _, r := range keys {
+			if _, err := fmt.Fprintf(w, "  %4dx %s\n", reasons[r], r); err != nil {
+				return err
+			}
+		}
+	}
+	if v := counts[EvViolation]; v > 0 {
+		if _, err := fmt.Fprintf(w, "cap violations: %d\n", v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/units"
+)
+
+// Chrome trace-event track layout. Perfetto (and chrome://tracing)
+// group events by pid → tid, so the sink maps the scheduler's three
+// natural axes onto three synthetic processes:
+//
+//	pid 1 "ranks"     — one thread per global rank; B/E spans are job
+//	                    occupancy, instants are hardware retunes.
+//	pid 2 "jobs"      — one thread per job; a "wait" span from arrival
+//	                    to admission/rejection, a "run" span to finish,
+//	                    an "X" block for a backfill reservation at its
+//	                    promised window, instants for governor actions.
+//	pid 3 "scheduler" — control-plane threads (admission, governor,
+//	                    plan) plus counter tracks: power_w, cap_w,
+//	                    queue_depth, headroom_w, free_<pool>.
+const (
+	pidRanks     = 1
+	pidJobs      = 2
+	pidScheduler = 3
+
+	tidAdmission = 1
+	tidGovernor  = 2
+	tidPlan      = 3
+)
+
+// ChromeTraceSink streams the event stream as Chrome trace-event JSON
+// ("JSON Object Format": {"traceEvents":[...]}). Events are written as
+// they arrive; Close emits the closing bracket, so a finished file is
+// valid JSON that loads directly in https://ui.perfetto.dev.
+//
+// Timestamps are sim-time microseconds (trace ts is always µs), so one
+// sim second reads as one second on the Perfetto timeline.
+type ChromeTraceSink struct {
+	w     *bufio.Writer
+	first bool
+	err   error
+
+	// procNamed / threadNamed track lazily-emitted "M" metadata events
+	// so every track is labelled exactly once, on first use.
+	procNamed   map[int]bool
+	threadNamed map[[2]int]bool
+
+	// waiting / running track which job threads have an open B span so
+	// E events always pair (a rejected job closes "wait", never "run").
+	waiting map[int]bool
+	running map[int]bool
+}
+
+// NewChromeTraceSink wraps w in a streaming Chrome trace writer.
+func NewChromeTraceSink(w io.Writer) *ChromeTraceSink {
+	s := &ChromeTraceSink{
+		w:           bufio.NewWriter(w),
+		first:       true,
+		procNamed:   map[int]bool{},
+		threadNamed: map[[2]int]bool{},
+		waiting:     map[int]bool{},
+		running:     map[int]bool{},
+	}
+	_, s.err = s.w.WriteString("{\"traceEvents\":[\n")
+	return s
+}
+
+// us converts sim seconds to trace microseconds.
+func us(t units.Seconds) float64 { return float64(t) * 1e6 }
+
+// jstr JSON-quotes a string (names and args may carry arbitrary reason
+// text). The trace sink is enabled-path only, so the allocation is
+// acceptable.
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return `"?"`
+	}
+	return string(b)
+}
+
+// raw appends one pre-rendered JSON object to the traceEvents array.
+func (s *ChromeTraceSink) raw(obj string) {
+	if s.err != nil {
+		return
+	}
+	if !s.first {
+		if _, s.err = s.w.WriteString(",\n"); s.err != nil {
+			return
+		}
+	}
+	s.first = false
+	_, s.err = s.w.WriteString(obj)
+}
+
+// meta emits the process/thread name metadata for (pid, tid) once.
+func (s *ChromeTraceSink) meta(pid, tid int, thread string) {
+	if !s.procNamed[pid] {
+		s.procNamed[pid] = true
+		name := map[int]string{pidRanks: "ranks", pidJobs: "jobs", pidScheduler: "scheduler"}[pid]
+		s.raw(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`, pid, jstr(name)))
+		// Order the processes ranks → jobs → scheduler in the UI.
+		s.raw(fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_sort_index","args":{"sort_index":%d}}`, pid, pid))
+	}
+	key := [2]int{pid, tid}
+	if thread != "" && !s.threadNamed[key] {
+		s.threadNamed[key] = true
+		s.raw(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`, pid, tid, jstr(thread)))
+	}
+}
+
+// span emits a duration-begin or duration-end event.
+func (s *ChromeTraceSink) span(ph string, pid, tid int, name string, t units.Seconds, args string) {
+	if args != "" {
+		args = `,"args":` + args
+	}
+	nm := ""
+	if name != "" {
+		nm = `,"name":` + jstr(name)
+	}
+	s.raw(fmt.Sprintf(`{"ph":%q,"pid":%d,"tid":%d%s,"ts":%.3f%s}`, ph, pid, tid, nm, us(t), args))
+}
+
+// instant emits a thread-scoped instant event.
+func (s *ChromeTraceSink) instant(pid, tid int, name string, t units.Seconds, args string) {
+	if args != "" {
+		args = `,"args":` + args
+	}
+	s.raw(fmt.Sprintf(`{"ph":"i","s":"t","pid":%d,"tid":%d,"name":%s,"ts":%.3f%s}`, pid, tid, jstr(name), us(t), args))
+}
+
+// counter emits a counter sample; series is the inner args object.
+func (s *ChromeTraceSink) counter(name string, t units.Seconds, series string) {
+	s.raw(fmt.Sprintf(`{"ph":"C","pid":%d,"name":%s,"ts":%.3f,"args":%s}`, pidScheduler, jstr(name), us(t), series))
+}
+
+func jobLabel(ev Event) string {
+	if ev.App != "" {
+		return fmt.Sprintf("j%d %s", ev.Job, ev.App)
+	}
+	return fmt.Sprintf("j%d", ev.Job)
+}
+
+// Write maps one telemetry event onto trace events.
+func (s *ChromeTraceSink) Write(ev Event) error {
+	switch ev.Kind {
+	case EvArrive:
+		s.meta(pidJobs, ev.Job, jobLabel(ev))
+		s.span("B", pidJobs, ev.Job, "wait", ev.T,
+			fmt.Sprintf(`{"app":%s,"p_req":%d}`, jstr(ev.App), ev.P))
+		s.waiting[ev.Job] = true
+		s.counter("queue_depth", ev.T, fmt.Sprintf(`{"jobs":%d}`, ev.Queue))
+
+	case EvAttempt:
+		s.meta(pidScheduler, tidAdmission, "admission")
+		s.instant(pidScheduler, tidAdmission, "blocked "+jobLabel(ev), ev.T,
+			fmt.Sprintf(`{"reason":%s,"queue":%d}`, jstr(ev.Reason), ev.Queue))
+		s.counter("queue_depth", ev.T, fmt.Sprintf(`{"jobs":%d}`, ev.Queue))
+
+	case EvAdmit:
+		s.meta(pidJobs, ev.Job, jobLabel(ev))
+		if s.waiting[ev.Job] {
+			delete(s.waiting, ev.Job)
+			s.span("E", pidJobs, ev.Job, "", ev.T, "")
+		}
+		args := fmt.Sprintf(`{"pool":%s,"p":%d,"f_ghz":%.3f,"w":%.1f,"ee":%.4f,"wait_s":%.3f,"backfilled":%t}`,
+			jstr(ev.Pool), ev.P, float64(ev.Freq)/1e9, float64(ev.Watts), ev.EE, float64(ev.Wait), ev.Backfilled)
+		s.span("B", pidJobs, ev.Job, "run", ev.T, args)
+		s.running[ev.Job] = true
+		for _, r := range ev.Ranks {
+			s.meta(pidRanks, r, fmt.Sprintf("rank %d", r))
+			s.span("B", pidRanks, r, jobLabel(ev), ev.T, args)
+		}
+		s.counter("headroom_w", ev.T, fmt.Sprintf(`{"watts":%.2f}`, float64(ev.Headroom)))
+		if ev.Pool != "" {
+			s.counter("free_"+ev.Pool, ev.T, fmt.Sprintf(`{"ranks":%d}`, ev.Free))
+		}
+		s.counter("queue_depth", ev.T, fmt.Sprintf(`{"jobs":%d}`, ev.Queue))
+
+	case EvReject:
+		s.meta(pidJobs, ev.Job, jobLabel(ev))
+		if s.waiting[ev.Job] {
+			delete(s.waiting, ev.Job)
+			s.span("E", pidJobs, ev.Job, "", ev.T, "")
+		}
+		s.instant(pidJobs, ev.Job, "reject", ev.T, fmt.Sprintf(`{"reason":%s}`, jstr(ev.Reason)))
+		s.meta(pidScheduler, tidAdmission, "admission")
+		s.instant(pidScheduler, tidAdmission, "reject "+jobLabel(ev), ev.T,
+			fmt.Sprintf(`{"reason":%s}`, jstr(ev.Reason)))
+
+	case EvFinish:
+		s.meta(pidJobs, ev.Job, jobLabel(ev))
+		if s.running[ev.Job] {
+			delete(s.running, ev.Job)
+			s.span("E", pidJobs, ev.Job, "", ev.T,
+				fmt.Sprintf(`{"energy_j":%.1f,"retunes":%d,"dur_s":%.3f}`, float64(ev.Energy), ev.P, float64(ev.Dur)))
+		}
+		for _, r := range ev.Ranks {
+			s.meta(pidRanks, r, fmt.Sprintf("rank %d", r))
+			s.span("E", pidRanks, r, "", ev.T, "")
+		}
+		s.counter("headroom_w", ev.T, fmt.Sprintf(`{"watts":%.2f}`, float64(ev.Headroom)))
+		if ev.Pool != "" {
+			s.counter("free_"+ev.Pool, ev.T, fmt.Sprintf(`{"ranks":%d}`, ev.Free))
+		}
+
+	case EvReserve:
+		s.meta(pidJobs, ev.Job, jobLabel(ev))
+		s.raw(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"ts":%.3f,"dur":%.3f,"args":{"pool":%s,"p":%d,"w":%.1f}}`,
+			pidJobs, ev.Job, jstr("reserved"), us(ev.At), us(ev.Dur), jstr(ev.Pool), ev.P, float64(ev.Watts)))
+
+	case EvThrottle, EvBoost:
+		name := "throttle"
+		if ev.Kind == EvBoost {
+			name = "boost"
+		}
+		args := fmt.Sprintf(`{"f_from_ghz":%.3f,"f_ghz":%.3f,"w_from":%.1f,"w":%.1f,"reason":%s}`,
+			float64(ev.FreqFrom)/1e9, float64(ev.Freq)/1e9, float64(ev.WattsFrom), float64(ev.Watts), jstr(ev.Reason))
+		s.meta(pidJobs, ev.Job, jobLabel(ev))
+		s.instant(pidJobs, ev.Job, name, ev.T, args)
+		s.meta(pidScheduler, tidGovernor, "governor")
+		s.instant(pidScheduler, tidGovernor, name+" "+jobLabel(ev), ev.T, args)
+
+	case EvRankRetune:
+		s.meta(pidRanks, ev.Rank, fmt.Sprintf("rank %d", ev.Rank))
+		s.instant(pidRanks, ev.Rank, "retune", ev.T,
+			fmt.Sprintf(`{"f_from_ghz":%.3f,"f_ghz":%.3f}`, float64(ev.FreqFrom)/1e9, float64(ev.Freq)/1e9))
+
+	case EvPlanEdge:
+		s.meta(pidScheduler, tidPlan, "plan")
+		label := "plan edge"
+		if ev.Reason != "" {
+			label = "plan edge (" + ev.Reason + ")"
+		}
+		s.instant(pidScheduler, tidPlan, label, ev.T, fmt.Sprintf(`{"cap_w":%.1f}`, float64(ev.Cap)))
+		s.counter("cap_w", ev.T, fmt.Sprintf(`{"watts":%.1f}`, float64(ev.Cap)))
+
+	case EvSample:
+		s.counter("power_w", ev.T, fmt.Sprintf(`{"watts":%.2f}`, float64(ev.Power)))
+		s.counter("cap_w", ev.T, fmt.Sprintf(`{"watts":%.1f}`, float64(ev.Cap)))
+
+	case EvViolation:
+		s.meta(pidScheduler, tidGovernor, "governor")
+		s.instant(pidScheduler, tidGovernor, "cap violation", ev.T,
+			fmt.Sprintf(`{"power_w":%.2f,"cap_w":%.1f}`, float64(ev.Power), float64(ev.Cap)))
+	}
+	return s.err
+}
+
+// Close writes the closing bracket and flushes. Spans still open at sim
+// end (jobs running when the horizon cut off) are left unmatched —
+// Perfetto renders them as "did not finish", which is the truth.
+func (s *ChromeTraceSink) Close() error {
+	if s.err == nil {
+		if _, err := s.w.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+			s.err = err
+		}
+	}
+	if ferr := s.w.Flush(); ferr != nil && s.err == nil {
+		s.err = ferr
+	}
+	return s.err
+}

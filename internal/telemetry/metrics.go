@@ -1,0 +1,320 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Metrics is a sim-time metrics registry: named counters, gauges and
+// histograms registered once at setup, then sampled as rows of one CSV
+// time series — the scheduler samples on scheduling edges, so each row
+// is a consistent snapshot of the control plane at a decision point.
+//
+// Rows stream to the writer as they are sampled (bounded memory: the
+// registry holds current values only, never the series), which is the
+// same discipline the event sinks follow and what lets a million-job
+// trace export metrics without holding them.
+type Metrics struct {
+	counters []*Counter
+	gauges   []*Gauge
+	hists    []*Histogram
+
+	w          io.Writer
+	headerDone bool
+	err        error
+	lastT      units.Seconds
+	rows       int
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	name string
+	v    float64
+	// rate adds a <name>_per_s column: the delta since the previous
+	// sample over the elapsed sim time (retunes/sec, admissions/sec).
+	rate  bool
+	prevV float64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(d float64) {
+	if c == nil {
+		return
+	}
+	c.v += d
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous value.
+type Gauge struct {
+	name string
+	v    float64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram counts observations into cumulative ≤-bound buckets
+// (Prometheus-style), plus a count and sum. Each bucket contributes one
+// CSV column, so the whole distribution rides the same time series.
+type Histogram struct {
+	name   string
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []float64 // cumulative per bound
+	inf    float64   // observations above every bound
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+		}
+	}
+	h.inf++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.inf
+}
+
+// Quantile returns an upper bound on the q-quantile of the observed
+// distribution (the smallest bucket bound whose cumulative count covers
+// q), or the largest finite bound when the quantile falls in the
+// overflow bucket. Zero observations return 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.inf == 0 {
+		return 0
+	}
+	target := q * h.inf
+	for i, c := range h.counts {
+		if c >= target {
+			return h.bounds[i]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// registered reports whether a metric name is taken.
+func (m *Metrics) registered(name string) bool {
+	for _, c := range m.counters {
+		if c.name == name {
+			return true
+		}
+	}
+	for _, g := range m.gauges {
+		if g.name == name {
+			return true
+		}
+	}
+	for _, h := range m.hists {
+		if h.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkNew panics on duplicate registration or registration after the
+// CSV header froze the column set — both are programming errors in the
+// instrumenting code, not runtime conditions.
+func (m *Metrics) checkNew(name string) {
+	if m.headerDone {
+		panic(fmt.Sprintf("telemetry: metric %q registered after the first sample froze the CSV columns", name))
+	}
+	if m.registered(name) {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+}
+
+// Counter registers a counter column. A nil registry returns a nil
+// counter whose methods are no-ops (the disabled path).
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.checkNew(name)
+	c := &Counter{name: name}
+	m.counters = append(m.counters, c)
+	return c
+}
+
+// RateCounter registers a counter that additionally reports its
+// per-sim-second rate between samples as a <name>_per_s column.
+func (m *Metrics) RateCounter(name string) *Counter {
+	c := m.Counter(name)
+	if c != nil {
+		c.rate = true
+	}
+	return c
+}
+
+// Gauge registers a gauge column.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.checkNew(name)
+	g := &Gauge{name: name}
+	m.gauges = append(m.gauges, g)
+	return g
+}
+
+// Histogram registers a histogram with the given ascending bucket
+// bounds; its columns are <name>_le_<bound>… plus <name>_count and
+// <name>_sum.
+func (m *Metrics) Histogram(name string, bounds ...float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.checkNew(name)
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %q needs at least one bucket bound", name))
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("telemetry: histogram %q bounds must ascend", name))
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]float64, len(bounds)),
+	}
+	m.hists = append(m.hists, h)
+	return h
+}
+
+// StreamCSV sets the writer sampled rows stream to. Call it after
+// registering every metric and before the first Sample; the header is
+// written with the first row.
+func (m *Metrics) StreamCSV(w io.Writer) {
+	if m == nil {
+		return
+	}
+	m.w = w
+}
+
+// header renders the column header: t_s then every metric in
+// registration order.
+func (m *Metrics) header() string {
+	var b strings.Builder
+	b.WriteString("t_s")
+	for _, c := range m.counters {
+		b.WriteString("," + c.name)
+		if c.rate {
+			b.WriteString("," + c.name + "_per_s")
+		}
+	}
+	for _, g := range m.gauges {
+		b.WriteString("," + g.name)
+	}
+	for _, h := range m.hists {
+		for _, bd := range h.bounds {
+			fmt.Fprintf(&b, ",%s_le_%g", h.name, bd)
+		}
+		b.WriteString("," + h.name + "_count," + h.name + "_sum")
+	}
+	return b.String()
+}
+
+// Sample writes one row of the time series at sim time t. Sampling with
+// no writer set still advances rate baselines (the audit can read
+// counters without exporting). Write errors are sticky and returned
+// from Err; sampling continues no-op afterwards.
+func (m *Metrics) Sample(t units.Seconds) {
+	if m == nil {
+		return
+	}
+	dt := float64(t - m.lastT)
+	if m.w != nil && m.err == nil {
+		var b strings.Builder
+		if !m.headerDone {
+			b.WriteString(m.header())
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%.6f", float64(t))
+		for _, c := range m.counters {
+			fmt.Fprintf(&b, ",%g", c.v)
+			if c.rate {
+				rate := 0.0
+				if dt > 0 {
+					rate = (c.v - c.prevV) / dt
+				}
+				fmt.Fprintf(&b, ",%g", rate)
+			}
+		}
+		for _, g := range m.gauges {
+			fmt.Fprintf(&b, ",%g", g.v)
+		}
+		for _, h := range m.hists {
+			for _, c := range h.counts {
+				fmt.Fprintf(&b, ",%g", c)
+			}
+			fmt.Fprintf(&b, ",%g,%g", h.inf, h.sum)
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(m.w, b.String()); err != nil {
+			m.err = err
+		}
+	}
+	m.headerDone = true
+	for _, c := range m.counters {
+		c.prevV = c.v
+	}
+	m.lastT = t
+	m.rows++
+}
+
+// Rows returns how many rows were sampled.
+func (m *Metrics) Rows() int {
+	if m == nil {
+		return 0
+	}
+	return m.rows
+}
+
+// Err returns the sticky stream error, if any.
+func (m *Metrics) Err() error {
+	if m == nil {
+		return nil
+	}
+	return m.err
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"repro/internal/units"
+)
+
+// NDJSONSink streams events as newline-delimited JSON — one object per
+// event, fields omitted when empty, kinds as strings. NDJSON is the
+// interchange format for external analysis (jq, pandas, a log
+// pipeline): unlike the Chrome trace it carries every field verbatim
+// and needs no finalisation, so a crashed run's log is still valid up
+// to its last line.
+type NDJSONSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+// NewNDJSONSink wraps w in a buffered NDJSON event writer.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	s := &NDJSONSink{w: bufio.NewWriter(w)}
+	s.enc = json.NewEncoder(s.w)
+	return s
+}
+
+// jsonEvent is the NDJSON projection of an Event: stable field order
+// (encoding/json emits struct fields in declaration order), zero-value
+// noise elided.
+type jsonEvent struct {
+	T          float64       `json:"t"`
+	Kind       string        `json:"ev"`
+	Job        *int          `json:"job,omitempty"`
+	App        string        `json:"app,omitempty"`
+	Pool       string        `json:"pool,omitempty"`
+	P          int           `json:"p,omitempty"`
+	Rank       *int          `json:"rank,omitempty"`
+	Ranks      []int         `json:"ranks,omitempty"`
+	FreqFrom   units.Hertz   `json:"f_from_hz,omitempty"`
+	Freq       units.Hertz   `json:"f_hz,omitempty"`
+	WattsFrom  units.Watts   `json:"w_from,omitempty"`
+	Watts      units.Watts   `json:"w,omitempty"`
+	Cap        units.Watts   `json:"cap_w,omitempty"`
+	Power      units.Watts   `json:"power_w,omitempty"`
+	Headroom   units.Watts   `json:"headroom_w,omitempty"`
+	Wait       units.Seconds `json:"wait_s,omitempty"`
+	Dur        units.Seconds `json:"dur_s,omitempty"`
+	At         units.Seconds `json:"at_s,omitempty"`
+	Energy     units.Joules  `json:"energy_j,omitempty"`
+	EE         float64       `json:"ee,omitempty"`
+	Queue      int           `json:"queue,omitempty"`
+	Free       int           `json:"free,omitempty"`
+	Backfilled bool          `json:"backfilled,omitempty"`
+	Reason     string        `json:"reason,omitempty"`
+}
+
+// Write emits one JSON line.
+func (s *NDJSONSink) Write(ev Event) error {
+	if s.err != nil {
+		return s.err
+	}
+	je := jsonEvent{
+		T:          float64(ev.T),
+		Kind:       ev.Kind.String(),
+		App:        ev.App,
+		Pool:       ev.Pool,
+		P:          ev.P,
+		Ranks:      ev.Ranks,
+		FreqFrom:   ev.FreqFrom,
+		Freq:       ev.Freq,
+		WattsFrom:  ev.WattsFrom,
+		Watts:      ev.Watts,
+		Cap:        ev.Cap,
+		Power:      ev.Power,
+		Headroom:   ev.Headroom,
+		Wait:       ev.Wait,
+		Dur:        ev.Dur,
+		At:         ev.At,
+		Energy:     ev.Energy,
+		EE:         ev.EE,
+		Queue:      ev.Queue,
+		Backfilled: ev.Backfilled,
+		Reason:     ev.Reason,
+	}
+	if ev.Job != NoJob {
+		job := ev.Job
+		je.Job = &job
+	}
+	if ev.Kind == EvRankRetune {
+		rank := ev.Rank
+		je.Rank = &rank
+	}
+	if err := s.enc.Encode(&je); err != nil {
+		s.err = err
+		return err
+	}
+	s.n++
+	return nil
+}
+
+// Close flushes the buffer.
+func (s *NDJSONSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Count returns the number of events written.
+func (s *NDJSONSink) Count() int { return s.n }

@@ -1,0 +1,319 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// fakeClock implements sim.Clock.
+type fakeClock struct{ t units.Seconds }
+
+func (c *fakeClock) Now() units.Seconds { return c.t }
+
+// TestNilRecorderIsFreeAndSafe pins the disabled-path contract: every
+// method of a nil recorder (and nil metric handles) is a safe no-op and
+// allocates nothing.
+func TestNilRecorderIsFreeAndSafe(t *testing.T) {
+	var r *Recorder
+	var m *Metrics
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	cl := &fakeClock{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.SetClock(cl)
+		r.Emit(Event{Kind: EvAdmit, Job: 1})
+		_ = r.Metrics()
+		_ = r.Err()
+		_ = r.Close()
+		m.Sample(1)
+		var c *Counter
+		c.Inc()
+		var g *Gauge
+		g.Set(3)
+		var h *Histogram
+		h.Observe(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestRecorderStampsAndFansOut(t *testing.T) {
+	a, b := NewMemorySink(), NewMemorySink()
+	r := New(a, b)
+	cl := &fakeClock{t: 42}
+	r.SetClock(cl)
+	ranks := []int{3, 4}
+	r.Emit(Event{Kind: EvAdmit, Job: 7, Ranks: ranks})
+	ranks[0] = 99 // scheduler reuses its slice; sinks must have copied
+	for _, m := range []*MemorySink{a, b} {
+		evs := m.Events()
+		if len(evs) != 1 {
+			t.Fatalf("got %d events, want 1", len(evs))
+		}
+		if evs[0].T != 42 {
+			t.Fatalf("T = %v, want clock-stamped 42", evs[0].T)
+		}
+		if evs[0].Ranks[0] != 3 {
+			t.Fatalf("MemorySink aliased Ranks: got %v", evs[0].Ranks)
+		}
+	}
+}
+
+type failSink struct{ n int }
+
+func (f *failSink) Write(Event) error { f.n++; return errors.New("disk full") }
+func (f *failSink) Close() error      { return nil }
+
+func TestSinkErrorIsStickyButNonFatal(t *testing.T) {
+	mem := NewMemorySink()
+	r := New(&failSink{}, mem)
+	r.Emit(Event{Kind: EvArrive, Job: 0})
+	r.Emit(Event{Kind: EvFinish, Job: 0})
+	if r.Err() == nil {
+		t.Fatal("sink error not surfaced")
+	}
+	if len(mem.Events()) != 2 {
+		t.Fatalf("healthy sink starved after peer error: got %d events", len(mem.Events()))
+	}
+	if err := r.Close(); err == nil {
+		t.Fatal("Close dropped the sticky error")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if EvAdmit.String() != "admit" || EvPlanEdge.String() != "plan-edge" {
+		t.Fatalf("kind names wrong: %q %q", EvAdmit, EvPlanEdge)
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatalf("out-of-range kind: %q", Kind(200))
+	}
+}
+
+func TestMetricsCSV(t *testing.T) {
+	m := NewMetrics()
+	adm := m.Counter("admitted")
+	ret := m.RateCounter("retunes")
+	q := m.Gauge("queue_depth")
+	h := m.Histogram("wait_s", 1, 10)
+	var buf bytes.Buffer
+	m.StreamCSV(&buf)
+
+	adm.Inc()
+	ret.Add(4)
+	q.Set(3)
+	h.Observe(0.5)
+	h.Observe(20)
+	m.Sample(2)
+	ret.Add(6)
+	q.Set(1)
+	m.Sample(4)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header+2 rows:\n%s", len(lines), buf.String())
+	}
+	wantHeader := "t_s,admitted,retunes,retunes_per_s,queue_depth,wait_s_le_1,wait_s_le_10,wait_s_count,wait_s_sum"
+	if lines[0] != wantHeader {
+		t.Fatalf("header:\n got %s\nwant %s", lines[0], wantHeader)
+	}
+	if lines[1] != "2.000000,1,4,2,3,1,1,2,20.5" {
+		t.Fatalf("row 1: %s", lines[1])
+	}
+	// Second row: retunes went 4→10 over dt=2s → rate 3/s.
+	if lines[2] != "4.000000,1,10,3,1,1,1,2,20.5" {
+		t.Fatalf("row 2: %s", lines[2])
+	}
+	if m.Rows() != 2 || m.Err() != nil {
+		t.Fatalf("Rows=%d Err=%v", m.Rows(), m.Err())
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("median upper bound = %g, want 1", got)
+	}
+	if got := h.Quantile(0.99); got != 10 {
+		t.Fatalf("p99 upper bound = %g, want 10 (overflow clamps to largest bound)", got)
+	}
+}
+
+func TestMetricsRegistrationPanics(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("x")
+	mustPanic(t, "duplicate", func() { m.Gauge("x") })
+	m.Sample(0)
+	mustPanic(t, "post-header", func() { m.Counter("late") })
+	mustPanic(t, "unsorted bounds", func() { NewMetrics().Histogram("h", 5, 1) })
+	mustPanic(t, "no bounds", func() { NewMetrics().Histogram("h") })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s registration did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestNDJSONSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewNDJSONSink(&buf)
+	events := []Event{
+		{T: 0, Kind: EvArrive, Job: 0, App: "FT", P: 16, Queue: 1},
+		{T: 1.5, Kind: EvRankRetune, Job: NoJob, Rank: 0, FreqFrom: 2e9, Freq: 1.5e9},
+		{T: 2, Kind: EvSample, Job: NoJob, Power: 900, Cap: 1000},
+	}
+	for _, ev := range events {
+		if err := s.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	// Job 0 is a valid ID and must survive omitempty.
+	if v, ok := first["job"]; !ok || v.(float64) != 0 {
+		t.Fatalf("job 0 lost by omitempty: %v", first)
+	}
+	if first["ev"] != "arrive" {
+		t.Fatalf("ev = %v", first["ev"])
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := second["job"]; ok {
+		t.Fatalf("NoJob serialised: %v", second)
+	}
+	if v, ok := second["rank"]; !ok || v.(float64) != 0 {
+		t.Fatalf("rank 0 lost by omitempty: %v", second)
+	}
+}
+
+// lifecycle is a small realistic stream shared by the trace and audit
+// tests: job 0 runs (with a throttle), job 1 gets rejected.
+func lifecycle() []Event {
+	return []Event{
+		{T: 0, Kind: EvArrive, Job: 0, App: "FT", P: 4, Queue: 1},
+		{T: 0, Kind: EvAdmit, Job: 0, App: "FT", Pool: "cpu", P: 4, Freq: 2.4e9,
+			Watts: 400, EE: 0.9, Ranks: []int{0, 1, 2, 3}, Headroom: 100, Free: 4, Queue: 0},
+		{T: 0.5, Kind: EvRankRetune, Job: NoJob, Rank: 1, FreqFrom: 2.4e9, Freq: 2.0e9},
+		{T: 1, Kind: EvArrive, Job: 1, App: "EP", P: 64, Queue: 1},
+		{T: 1, Kind: EvReject, Job: 1, App: "EP", Reason: "needs 64 ranks, platform has 8"},
+		{T: 2, Kind: EvPlanEdge, Job: NoJob, Cap: 300, Reason: "pre-drop"},
+		{T: 2, Kind: EvThrottle, Job: 0, App: "FT", FreqFrom: 2.4e9, Freq: 2.0e9,
+			WattsFrom: 400, Watts: 300, Reason: "cap step to 300W"},
+		{T: 2.5, Kind: EvSample, Job: NoJob, Power: 290, Cap: 300},
+		{T: 3, Kind: EvViolation, Job: NoJob, Power: 310, Cap: 300},
+		{T: 4, Kind: EvReserve, Job: 2, At: 6, Dur: 3, Pool: "cpu", P: 2, Watts: 100},
+		{T: 6, Kind: EvFinish, Job: 0, App: "FT", Pool: "cpu", P: 2, Dur: 6,
+			Energy: 2000, Ranks: []int{0, 1, 2, 3}, Headroom: 300, Free: 8},
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewChromeTraceSink(&buf)
+	for _, ev := range lifecycle() {
+		if err := s.Write(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	begins, ends := 0, 0
+	kinds := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		kinds[ph]++
+		switch ph {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "":
+			t.Fatalf("event without ph: %v", ev)
+		}
+	}
+	// job 0: wait B/E + run B/E; ranks 0..3: B/E each. All paired.
+	if begins != ends {
+		t.Fatalf("unbalanced spans: %d B vs %d E", begins, ends)
+	}
+	if begins != 7 {
+		t.Fatalf("got %d begin spans, want 7 (2 job waits, job run, 4 ranks)", begins)
+	}
+	for _, ph := range []string{"M", "i", "C", "X"} {
+		if kinds[ph] == 0 {
+			t.Fatalf("no %q events in trace", ph)
+		}
+	}
+}
+
+func TestAuditReportAndSummary(t *testing.T) {
+	a := NewAudit(lifecycle())
+	if got := a.Jobs(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Jobs = %v", got)
+	}
+	if got := a.Violations(); len(got) != 1 || got[0].Power != 310 {
+		t.Fatalf("Violations = %v", got)
+	}
+	var rep bytes.Buffer
+	if err := a.JobReport(&rep, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"job 0 (FT):", "admit", "pool=cpu", "throttle", "2.40GHz -> 2.00GHz", "finish", "energy=2000J"} {
+		if !strings.Contains(rep.String(), want) {
+			t.Fatalf("job report missing %q:\n%s", want, rep.String())
+		}
+	}
+	var rej bytes.Buffer
+	if err := a.JobReport(&rej, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rej.String(), "reject     needs 64 ranks") {
+		t.Fatalf("reject report:\n%s", rej.String())
+	}
+	var none bytes.Buffer
+	if err := a.JobReport(&none, 9); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(none.String(), "(no events)") {
+		t.Fatalf("missing-job report:\n%s", none.String())
+	}
+	var sum bytes.Buffer
+	if err := a.Summary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"events: 11 total", "admit", "cap violations: 1"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+}
