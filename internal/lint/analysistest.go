@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// RunFixtures is the analysistest-style harness: it loads each fixture
+// package from the GOPATH-style srcRoot (testdata/src), runs the
+// analyzer, and matches diagnostics against `// want "regexp"`
+// expectations in the fixture sources. Every diagnostic must be wanted
+// on its line and every want must fire; both directions fail the test.
+func RunFixtures(t *testing.T, srcRoot string, a *Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := &Loader{SrcRoot: srcRoot}
+	var pkgs []*Package
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := Run([]*Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := make(map[string]map[int][]*want) // filename → line → expectations
+	for _, pkg := range pkgs {
+		for i, f := range pkg.Files {
+			name := pkg.Filenames[i]
+			wants[name] = make(map[int][]*want)
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					line := pkg.Fset.Position(c.Pos()).Line
+					for _, raw := range splitQuoted(t, name, line, rest) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", name, line, raw, err)
+						}
+						wants[name][line] = append(wants[name][line], &want{re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	fset := loader.Fset
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants[pos.Filename][pos.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for name, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: want %q: no diagnostic matched", name, line, w.raw)
+				}
+			}
+		}
+	}
+}
+
+// splitQuoted parses one or more Go-quoted (backquoted or double-quoted)
+// strings from a `// want` payload.
+func splitQuoted(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var q byte = s[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("%s:%d: want expectation must be a quoted string: %s", file, line, s)
+		}
+		end := strings.IndexByte(s[1:], q)
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want string: %s", file, line, s)
+		}
+		raw := s[:end+2]
+		unq, err := strconv.Unquote(raw)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want string %s: %v", file, line, raw, err)
+		}
+		out = append(out, unq)
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}
+
+// positionString formats a diagnostic location for test failure output.
+func positionString(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

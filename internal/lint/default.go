@@ -1,0 +1,30 @@
+package lint
+
+// DeterministicPackages are the import-path suffix patterns of the
+// packages whose behaviour feeds schedules, figure CSVs, golden dumps
+// or model predictions — the scope in which map order and wall clocks
+// must not be observable. (cmd/figures matches "figures" deliberately:
+// its CSV output is golden-pinned too.)
+var DeterministicPackages = []string{
+	"sched", "sim", "cluster", "capplan",
+	"figures", "analysis", "opcache", "machine",
+}
+
+// Default returns the analyzer suite configured for this repository —
+// the set cmd/repolint runs.
+func Default() []*Analyzer {
+	return []*Analyzer{
+		DetMapRange(DeterministicPackages...),
+		// simclock scans the whole tree: simulated paths must use
+		// sim.Clock, and the genuinely wall-clock sites (CLI stamps,
+		// profiler wall timing) carry //lint:wallclock annotations.
+		SimClock(),
+		TelGuard(
+			[]string{"internal/sched", "internal/power"},
+			[]string{"telemetry.Recorder", "sched.schedTelemetry"},
+		),
+		// unitmix scans the whole tree: unit discipline binds callers
+		// (cmd, examples) as much as the model packages.
+		UnitMix("internal/units"),
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// addImportEdit builds a zero-width edit inserting an import of path
+// into f, or reports ok=false when the file already imports it. Grouped
+// import blocks get the new path in sorted position; a lone
+// `import "x"` line gets a sibling declaration after it; a file with no
+// imports gets a new declaration after the package clause.
+func addImportEdit(f *ast.File, path string) (TextEdit, bool) {
+	quoted := strconv.Quote(path)
+	for _, spec := range f.Imports {
+		if spec.Path.Value == quoted {
+			return TextEdit{}, false
+		}
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if !gd.Lparen.IsValid() {
+			return TextEdit{Pos: gd.End(), End: gd.End(), NewText: []byte("\nimport " + quoted)}, true
+		}
+		for _, spec := range gd.Specs {
+			if spec.(*ast.ImportSpec).Path.Value > quoted {
+				return TextEdit{Pos: spec.Pos(), End: spec.Pos(), NewText: []byte(quoted + "\n\t")}, true
+			}
+		}
+		return TextEdit{Pos: gd.Rparen, End: gd.Rparen, NewText: []byte("\t" + quoted + "\n")}, true
+	}
+	return TextEdit{Pos: f.Name.End(), End: f.Name.End(), NewText: []byte("\n\nimport " + quoted)}, true
+}
+
+// ApplyFixes applies the first suggested fix of every diagnostic that
+// has one, writing the modified files in place. Overlapping edits are
+// rejected file by file. It returns the filenames written.
+func ApplyFixes(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) ([]string, error) {
+	src := make(map[string][]byte)
+	for _, p := range pkgs {
+		for name, b := range p.Src {
+			src[name] = b
+		}
+	}
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	byFile := make(map[string][]edit)
+	for _, d := range diags {
+		if len(d.Fixes) == 0 {
+			continue
+		}
+		for _, e := range d.Fixes[0].Edits {
+			pos, end := fset.Position(e.Pos), fset.Position(e.End)
+			if pos.Filename != end.Filename {
+				return nil, fmt.Errorf("fix for %q spans files", d.Message)
+			}
+			byFile[pos.Filename] = append(byFile[pos.Filename], edit{pos.Offset, end.Offset, e.NewText})
+		}
+	}
+	var written []string
+	for name, edits := range byFile {
+		orig, ok := src[name]
+		if !ok {
+			var err error
+			if orig, err = os.ReadFile(name); err != nil {
+				return nil, err
+			}
+		}
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			if edits[i].end != edits[j].end {
+				return edits[i].end < edits[j].end
+			}
+			return string(edits[i].text) < string(edits[j].text)
+		})
+		// Several fixes in one file may each carry the same import
+		// insertion; apply it once.
+		deduped := edits[:0]
+		for _, e := range edits {
+			if n := len(deduped); n > 0 {
+				last := deduped[n-1]
+				if last.start == e.start && last.end == e.end && bytes.Equal(last.text, e.text) {
+					continue
+				}
+			}
+			deduped = append(deduped, e)
+		}
+		edits = deduped
+		var out []byte
+		prev := 0
+		for _, e := range edits {
+			if e.start < prev {
+				return nil, fmt.Errorf("%s: overlapping suggested fixes", name)
+			}
+			out = append(out, orig[prev:e.start]...)
+			out = append(out, e.text...)
+			prev = e.end
+		}
+		out = append(out, orig[prev:]...)
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			return nil, err
+		}
+		written = append(written, name)
+	}
+	sort.Strings(written)
+	return written, nil
+}

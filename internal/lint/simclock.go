@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package time entry points that read or wait on
+// the host's clock. Constructors like time.Date and conversions like
+// time.Duration are pure and stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// globalRandAllowed are the math/rand[/v2] entry points that construct
+// explicitly seeded generators rather than touching the shared global
+// source.
+var globalRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// SimClock returns the simclock analyzer restricted to the given
+// package patterns (nil/empty = the whole tree).
+//
+// Rationale: simulated time advances only through the kernel's event
+// loop, exposed read-only as sim.Clock, and every stochastic knob
+// (execution noise, meter noise, trace generation) draws from a seeded
+// *rand.Rand so a (trace, seed) pair replays bit-for-bit. A single
+// time.Now() or global rand.Intn() in a simulated path silently couples
+// results to the host — the schedule still looks plausible, the golden
+// diff fires a PR later. The analyzer bans references to the wall-clock
+// readers/waiters in package time (Now, Since, Until, Sleep, After,
+// Tick, NewTimer, NewTicker, AfterFunc) and to every math/rand and
+// math/rand/v2 package-level function except the explicit-source
+// constructors (New, NewSource, NewZipf, NewPCG, NewChaCha8).
+//
+// Escape hatch: `//lint:wallclock <why>` on or above the line, for
+// genuinely wall-clock code — profiler wall timing, CLI banners, CI
+// stamps.
+func SimClock(packages ...string) *Analyzer {
+	a := &Analyzer{
+		Name:     "simclock",
+		Doc:      "forbids wall-clock time and global math/rand state in simulated paths",
+		Packages: packages,
+	}
+	a.Run = runSimClock
+	return a
+}
+
+func runSimClock(pass *Pass) error {
+	info := pass.TypesInfo()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Signature().Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are fine
+			}
+			var why string
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					why = "depends on the host wall clock; simulated paths must use the sim.Clock / kernel virtual time"
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalRandAllowed[fn.Name()] {
+					why = "uses the global math/rand source; use a seeded *rand.Rand (rand.New(rand.NewSource(seed)))"
+				}
+			}
+			if why == "" {
+				return true
+			}
+			if pass.Exempt(sel.Pos(), "wallclock") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s.%s %s (or annotate //lint:wallclock <why>)",
+				fn.Pkg().Name(), fn.Name(), why)
+			return true
+		})
+	}
+	return nil
+}

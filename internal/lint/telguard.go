@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TelGuard returns the telguard analyzer. packages scopes it (pattern
+// semantics of Analyzer.Packages); guarded lists the types whose field
+// and method accesses must be nil-guarded, each as "pkgpattern.Type"
+// where pkgpattern is an import-path suffix and Type the (possibly
+// unexported) type name — e.g. "telemetry.Recorder", "sched.schedTelemetry".
+//
+// Rationale: telemetry must cost nothing when disabled. The scheduler
+// keeps a nil recorder glue (`s.tel`) when Config.Telemetry is unset,
+// and TestNilRecorderIsFreeAndSafe pins the disabled path to zero
+// allocations — but only for the code paths that test happens to drive.
+// The invariant it samples is structural: every access through the
+// telemetry glue or recorder must be dominated by a nil check, so the
+// disabled path never constructs an Event, boxes an interface, or
+// panics. telguard checks that structurally at every emit site.
+//
+// An access `X.f` (field read, method call, method value) whose
+// receiver X has a guarded type is accepted when one of:
+//
+//   - an enclosing if (or && chain) tests `X != nil` on the taken
+//     branch, or `X == nil` on the else branch;
+//   - an earlier statement in an enclosing block is `if X == nil {
+//     return/continue/break/panic }`;
+//   - an earlier statement in an enclosing block assigns X (or a
+//     selector prefix of X) a non-nil value — e.g. `s.tel =
+//     newSchedTelemetry(...)` or `t := &schedTelemetry{...}`;
+//   - X is rooted at the receiver of the enclosing method and that
+//     receiver's type is itself guarded: inside the glue the caller
+//     already held the guard.
+//
+// Recorder.Enabled is documented nil-safe (`return r != nil`) and is
+// the one method callable unguarded; `if X.Enabled()` also counts as a
+// nil assertion on X, like `if X != nil`.
+//
+// There is deliberately no escape-hatch comment: an unguarded emit site
+// is never legitimate.
+func TelGuard(packages []string, guarded []string) *Analyzer {
+	a := &Analyzer{
+		Name:     "telguard",
+		Doc:      "requires every telemetry recorder access to be dominated by a nil guard",
+		Packages: packages,
+	}
+	a.Run = func(pass *Pass) error { return runTelGuard(pass, guarded) }
+	return a
+}
+
+// nilSafeMethods are guarded-type methods documented to handle a nil
+// receiver; calling one IS the guard rather than needing one.
+var nilSafeMethods = map[string]bool{"Enabled": true}
+
+// guardedType reports whether t (after pointer deref) is one of the
+// guarded named types.
+func guardedType(t types.Type, guarded []string) bool {
+	n := derefNamed(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	for _, g := range guarded {
+		i := strings.LastIndex(g, ".")
+		if i < 0 {
+			continue
+		}
+		if n.Obj().Name() == g[i+1:] && matchPathSuffix(n.Obj().Pkg().Path(), g[:i]) {
+			return true
+		}
+	}
+	return false
+}
+
+func runTelGuard(pass *Pass, guarded []string) error {
+	info := pass.TypesInfo()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := info.TypeOf(sel.X)
+			if recv == nil || !guardedType(recv, guarded) {
+				return true
+			}
+			if nilSafeMethods[sel.Sel.Name] {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Signature().Recv() != nil {
+					return true
+				}
+			}
+			if dominatedByGuard(pass, f, sel, guarded) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "access to %s (type %s) is not dominated by a nil guard; the disabled-telemetry path must stay allocation-free",
+				exprString(pass.Fset(), sel.X), types.TypeString(recv, nil))
+			return true
+		})
+	}
+	return nil
+}
+
+func dominatedByGuard(pass *Pass, f *ast.File, sel *ast.SelectorExpr, guarded []string) bool {
+	fset := pass.Fset()
+	xText := exprString(fset, sel.X)
+	path := pathTo(f, sel)
+	if path == nil {
+		return false
+	}
+	// Inside-the-glue exemption: X roots at the enclosing method's
+	// receiver and the receiver type is guarded.
+	if root := rootIdent(sel.X); root != nil {
+		for _, n := range path {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+				continue
+			}
+			rn := fd.Recv.List[0].Names[0]
+			if rn.Name == root.Name && guardedType(pass.TypesInfo().TypeOf(root), guarded) &&
+				pass.TypesInfo().Uses[root] == pass.TypesInfo().Defs[rn] {
+				return true
+			}
+		}
+	}
+	for i := len(path) - 2; i >= 0; i-- {
+		parent, child := path[i], path[i+1]
+		switch p := parent.(type) {
+		case *ast.IfStmt:
+			if child == p.Body && condAsserts(fset, p.Cond, xText, token.NEQ) {
+				return true
+			}
+			if child == p.Else && condAsserts(fset, p.Cond, xText, token.EQL) {
+				return true
+			}
+		case *ast.BinaryExpr:
+			// `X != nil && X.f(...)` — the left conjunct guards the right.
+			if p.Op == token.LAND && child == p.Y && condAsserts(fset, p.X, xText, token.NEQ) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if guardBefore(pass, p.List, child, xText) {
+				return true
+			}
+		case *ast.CaseClause:
+			if guardBefore(pass, p.Body, child, xText) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// guardBefore scans the statements preceding child in list for an
+// early-exit nil check on xText or a non-nil (re)assignment of xText or
+// one of its selector prefixes.
+func guardBefore(pass *Pass, list []ast.Stmt, child ast.Node, xText string) bool {
+	fset := pass.Fset()
+	idx := -1
+	for j, s := range list {
+		if s == child {
+			idx = j
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	prefixes := selectorPrefixes(xText)
+	for _, s := range list[:idx] {
+		switch st := s.(type) {
+		case *ast.IfStmt:
+			if condAsserts(fset, st.Cond, xText, token.EQL) && terminates(st.Body) {
+				return true
+			}
+		case *ast.AssignStmt:
+			for k, lhs := range st.Lhs {
+				lt := exprString(fset, lhs)
+				for _, pre := range prefixes {
+					if lt != pre {
+						continue
+					}
+					// Parallel assigns pair LHS k with RHS k when arity
+					// matches; a single multi-value RHS is treated as
+					// non-nil-producing only for calls/literals.
+					var rhs ast.Expr
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[k]
+					} else if len(st.Rhs) == 1 {
+						rhs = st.Rhs[0]
+					}
+					if rhs != nil && !isNilIdent(rhs) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// selectorPrefixes returns x and every dotted prefix of it:
+// "s.tel.rec" → ["s.tel.rec", "s.tel", "s"]. Assigning a prefix a fresh
+// non-nil value re-establishes the whole chain.
+func selectorPrefixes(x string) []string {
+	out := []string{x}
+	for {
+		i := strings.LastIndex(x, ".")
+		if i < 0 {
+			return out
+		}
+		x = x[:i]
+		out = append(out, x)
+	}
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// condAsserts reports whether cond (possibly an && chain) contains a
+// conjunct asserting `xText <op> nil` — literally, or via the nil-safe
+// predicate spellings `xText.Enabled()` (NEQ) / `!xText.Enabled()` (EQL).
+func condAsserts(fset *token.FileSet, cond ast.Expr, xText string, op token.Token) bool {
+	cond = ast.Unparen(cond)
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		if c.Op == token.LAND {
+			return condAsserts(fset, c.X, xText, op) || condAsserts(fset, c.Y, xText, op)
+		}
+		if c.Op == op {
+			l, r := exprString(fset, ast.Unparen(c.X)), exprString(fset, ast.Unparen(c.Y))
+			return (l == xText && r == "nil") || (r == xText && l == "nil")
+		}
+	case *ast.CallExpr:
+		return op == token.NEQ && isNilSafePredicate(fset, c, xText)
+	case *ast.UnaryExpr:
+		if call, ok := ast.Unparen(c.X).(*ast.CallExpr); ok {
+			return c.Op == token.NOT && op == token.EQL && isNilSafePredicate(fset, call, xText)
+		}
+	}
+	return false
+}
+
+// isNilSafePredicate matches a no-arg call `xText.M()` for a nil-safe M.
+func isNilSafePredicate(fset *token.FileSet, call *ast.CallExpr, xText string) bool {
+	if len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && nilSafeMethods[sel.Sel.Name] && exprString(fset, sel.X) == xText
+}
+
+// terminates reports whether the block's last statement leaves the
+// enclosing scope (return, continue, break, goto, panic, os.Exit,
+// t.Fatal-style calls are approximated by return/branch/panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootIdent returns the leftmost identifier of a selector chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package a is the simclock fixture.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+const tick = 5 * time.Millisecond // durations are values, not clock reads
+
+func bad() time.Time {
+	return time.Now() // want `time.Now depends on the host wall clock`
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since depends on the host wall clock`
+}
+
+func badSleep() {
+	time.Sleep(tick) // want `time.Sleep depends on the host wall clock`
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(tick) // want `time.NewTimer depends on the host wall clock`
+}
+
+func badGlobalRand() int {
+	return rand.Intn(6) // want `rand.Intn uses the global math/rand source`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses the global math/rand source`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicit-source constructors are allowed
+	return r.Intn(6)                    // methods on *rand.Rand are allowed
+}
+
+func annotated() time.Time {
+	return time.Now() //lint:wallclock CI stamp rendered into the report header
+}
+
+func annotatedAbove() time.Time {
+	//lint:wallclock profiler wall timing
+	return time.Now()
+}
+
+func pureTime() time.Time {
+	return time.Date(2011, 5, 16, 0, 0, 0, 0, time.UTC) // constructors are pure
+}

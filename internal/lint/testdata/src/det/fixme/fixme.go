@@ -1,0 +1,13 @@
+// Package fixme is the suggested-fix fixture: the fix test applies
+// detmaprange's sort-keys rewrite to a copy of this file and asserts
+// the mechanical output — including that the rewrite inserts the "sort"
+// import this file deliberately lacks.
+package fixme
+
+import "fmt"
+
+func dump(m map[int]string) {
+	for k, v := range m { // want `iteration over map m is order-dependent`
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,11 @@
+// Package other is outside the deterministic-package patterns, so
+// detmaprange must stay silent here.
+package other
+
+import "fmt"
+
+func plainRange(m map[int]string) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

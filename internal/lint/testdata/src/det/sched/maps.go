@@ -1,0 +1,103 @@
+// Package sched is the detmaprange fixture: its import path ends in a
+// deterministic-package segment, so every map range here is checked.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+func plainRange(m map[int]string) {
+	for k, v := range m { // want `iteration over map m is order-dependent`
+		fmt.Println(k, v)
+	}
+}
+
+func sortedKeys(m map[int]string) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Println(m[k])
+	}
+}
+
+func sortedValuesViaSlices(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+func collectNoSort(m map[int]string) []int {
+	var ids []int
+	for k := range m { // want `collects into "ids" but no later sort`
+		ids = append(ids, k)
+	}
+	return ids
+}
+
+func count(m map[int]bool) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sumInts(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func orFlags(m map[int]uint8) uint8 {
+	var flags uint8
+	for _, v := range m {
+		flags |= v
+	}
+	return flags
+}
+
+func sumFloats(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m { // want `floating-point accumulation into float64 over map order is not bit-reproducible`
+		total += v
+	}
+	return total
+}
+
+func clearAll(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func scaleInPlace(m map[int]int) {
+	for k := range m {
+		m[k] = m[k] * 2
+	}
+}
+
+var sink = map[int]bool{}
+
+func annotated(m map[int]string) {
+	//lint:orderinsensitive membership only; sink is never iterated
+	for k := range m {
+		sink[k] = true
+	}
+}
+
+func nonMap(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

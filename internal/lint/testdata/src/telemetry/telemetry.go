@@ -1,0 +1,23 @@
+// Package telemetry is the telguard fixture's stand-in for
+// repro/internal/telemetry: a Recorder whose accesses must be
+// nil-guarded at every call site.
+package telemetry
+
+// Event is a flat value event.
+type Event struct{ Kind int }
+
+// Recorder collects events.
+type Recorder struct{ n int }
+
+// Emit records one event.
+func (r *Recorder) Emit(e Event) { r.n++ }
+
+// Enabled reports whether the recorder records anything; documented
+// nil-safe, it is itself the guard.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Counter is a metric owned by a recorder-side registry.
+type Counter struct{ v float64 }
+
+// Add increments the counter.
+func (c *Counter) Add(d float64) { c.v += d }

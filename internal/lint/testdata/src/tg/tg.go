@@ -1,0 +1,123 @@
+// Package tg is the telguard fixture: the glue type mirrors
+// sched.schedTelemetry and sched mirrors the Scheduler's nil-guarded
+// emit sites.
+package tg
+
+import "telemetry"
+
+type glue struct {
+	rec  *telemetry.Recorder
+	hits *telemetry.Counter
+}
+
+// Inside the glue the caller already held the guard: accesses rooted at
+// the guarded receiver are exempt.
+func (g *glue) emit(e telemetry.Event) {
+	g.rec.Emit(e)
+	g.hits.Add(1)
+}
+
+type sched struct {
+	tel *glue
+	rec *telemetry.Recorder
+}
+
+func (s *sched) guarded(e telemetry.Event) {
+	if s.tel != nil {
+		s.tel.emit(e)
+	}
+}
+
+func (s *sched) unguarded(e telemetry.Event) {
+	s.tel.emit(e) // want `access to s.tel .* is not dominated by a nil guard`
+}
+
+func (s *sched) earlyReturn(e telemetry.Event) {
+	if s.tel == nil {
+		return
+	}
+	s.tel.emit(e)
+}
+
+func (s *sched) elseBranch(e telemetry.Event) {
+	if s.tel == nil {
+		_ = e
+	} else {
+		s.tel.emit(e)
+	}
+}
+
+func (s *sched) thenBranchOfNilCheck(e telemetry.Event) {
+	if s.tel == nil {
+		s.tel.emit(e) // want `access to s.tel .* is not dominated by a nil guard`
+	}
+}
+
+func (s *sched) assignedAbove(e telemetry.Event) {
+	s.tel = newGlue()
+	s.tel.emit(e)
+}
+
+func (s *sched) conjunct(e telemetry.Event, on bool) {
+	if on && s.tel != nil {
+		s.tel.emit(e)
+	}
+}
+
+func (s *sched) inlineConjunct(e telemetry.Event) bool {
+	return s.tel != nil && s.tel.fire(e)
+}
+
+func (g *glue) fire(e telemetry.Event) bool {
+	g.rec.Emit(e)
+	return true
+}
+
+func (s *sched) wrongGuard(e telemetry.Event, other *sched) {
+	if other.tel != nil {
+		s.tel.emit(e) // want `access to s.tel .* is not dominated by a nil guard`
+	}
+}
+
+func (s *sched) guardNotTerminating(e telemetry.Event) {
+	if s.tel == nil {
+		_ = e
+	}
+	s.tel.emit(e) // want `access to s.tel .* is not dominated by a nil guard`
+}
+
+func (s *sched) directRecorder(e telemetry.Event) {
+	if s.rec != nil {
+		s.rec.Emit(e)
+	}
+	s.rec.Emit(e) // want `access to s.rec .* is not dominated by a nil guard`
+}
+
+func (s *sched) enabledGuard(e telemetry.Event) {
+	if s.rec.Enabled() {
+		s.rec.Emit(e)
+	}
+}
+
+func (s *sched) notEnabledEarlyReturn(e telemetry.Event) {
+	if !s.rec.Enabled() {
+		return
+	}
+	s.rec.Emit(e)
+}
+
+func newGlue() *glue {
+	g := &glue{rec: &telemetry.Recorder{}, hits: &telemetry.Counter{}}
+	g.rec.Emit(telemetry.Event{}) // dominated by the assignment to g above
+	return g
+}
+
+// Closures see guards established in the enclosing scope, the way the
+// scheduler's constructor registers hooks after building the glue.
+func hookAfterBuild(register func(func())) *glue {
+	g := newGlue()
+	register(func() {
+		g.hits.Add(1)
+	})
+	return g
+}

@@ -1,0 +1,11 @@
+// Package defs defines cross-package structs with unit-typed fields
+// for the unitmix literal checks.
+package defs
+
+import "um/units"
+
+type Config struct {
+	Cap  units.Watts
+	Freq units.Hertz
+	Gain float64
+}

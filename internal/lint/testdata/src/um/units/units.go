@@ -1,0 +1,22 @@
+// Package units is the unitmix fixture's stand-in for
+// repro/internal/units: distinct float64-backed quantity kinds.
+package units
+
+type Seconds float64
+
+type Joules float64
+
+type Watts float64
+
+type Hertz float64
+
+const (
+	GHz Hertz = 1e9
+	MHz Hertz = 1e6
+)
+
+// Energy composes dimensions the legal way: through float64, with the
+// result's kind named explicitly.
+func Energy(p Watts, t Seconds) Joules {
+	return Joules(float64(p) * float64(t))
+}

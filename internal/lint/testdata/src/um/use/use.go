@@ -1,0 +1,56 @@
+// Package use is the unitmix fixture: quantity-kind mixing, dimension
+// squaring, and bare literals across package boundaries.
+package use
+
+import (
+	"um/defs"
+	"um/units"
+)
+
+func mixAdd(p units.Watts, e units.Joules) float64 {
+	return float64(p) + float64(e) // want `mixes distinct quantity kinds Watts and Joules`
+}
+
+func mixCompare(p units.Watts, t units.Seconds) bool {
+	return float64(p) > float64(t) // want `mixes distinct quantity kinds Watts and Seconds`
+}
+
+func composeOK(p units.Watts, t units.Seconds) float64 {
+	return float64(p) * float64(t) // dimension composition through float64 is the idiom
+}
+
+func sameKindOK(a, b units.Joules) units.Joules {
+	return a + b
+}
+
+func square(t, u units.Seconds) units.Seconds {
+	return t * u // want `Seconds \* Seconds squares the dimension`
+}
+
+func ratioOK(a, b units.Seconds) float64 {
+	return float64(a / b) // converted away at the division: fine
+}
+
+func badRatio(a, b units.Seconds) units.Seconds {
+	return a / b // want `Seconds / Seconds is a dimensionless ratio`
+}
+
+func scaleOK(t units.Seconds) units.Seconds {
+	return t * 2 // constants are scale factors, not quantities
+}
+
+func scaleConstOK() units.Hertz {
+	return 26 * units.GHz / 10
+}
+
+func fields() defs.Config {
+	c := defs.Config{
+		Cap:  2500,  // integer literals read unambiguously
+		Freq: 2.6e9, // want `bare float literal 2.6e9 assigned to Config.Freq`
+		Gain: 1.5,   // not unit-typed
+	}
+	c.Freq = 3.2e9 // want `bare float literal 3.2e9 assigned to c.Freq`
+	c.Freq = 3200 * units.MHz
+	c.Cap = units.Watts(2.5e3) // explicit conversion names the kind: fine
+	return c
+}

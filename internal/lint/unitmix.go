@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnitMix returns the unitmix analyzer. unitsPkg is an import-path
+// suffix pattern naming the package whose float64-backed named types
+// are the physical quantity kinds ("units" for repro/internal/units).
+//
+// Rationale: the iso-energy-efficiency model is an exercise in unit
+// discipline — E = P·t, EE = W/(T·E) — and internal/units encodes each
+// kind (Seconds, Joules, Watts, Hertz, Bytes) as a distinct defined
+// type precisely so the compiler rejects watts+joules. Three holes
+// remain that the type system cannot see, and energy accounting is only
+// as trustworthy as its unit discipline (the ICE energy-complexity and
+// EXCESS deliverables both lean on this):
+//
+//  1. laundering through float64: `float64(p) + float64(t)` adds watts
+//     to seconds with no compiler complaint. unitmix tracks the unit
+//     provenance of operands through float64()/other conversions and
+//     flags additive (+, -) and comparison operators over two distinct
+//     kinds.
+//
+//  2. squaring a dimension back into itself: `Seconds * Seconds` is
+//     well-typed Go — both operands and the result are Seconds — but
+//     dimensionally s², not s. unitmix flags same-kind multiplication,
+//     and same-kind division whose (dimensionless) result is not
+//     immediately converted away from the unit type.
+//
+//  3. bare literals across package boundaries: `cluster.Config{Freq:
+//     2.6e9}` compiles because untyped constants convert implicitly,
+//     but the reader cannot tell hertz from gigahertz. unitmix flags
+//     untyped float literals assigned into a unit-typed field of a
+//     struct defined in another package (integer literals stay legal:
+//     `Cap: 2500` watts reads unambiguously; scale constants like
+//     `2600 * units.MHz` are the preferred spelling for the rest).
+//
+// No escape-hatch comment: a true positive is a dimensional error and a
+// false positive is better written with an explicit conversion.
+func UnitMix(unitsPkg string, packages ...string) *Analyzer {
+	a := &Analyzer{
+		Name:     "unitmix",
+		Doc:      "flags arithmetic mixing distinct physical quantity kinds and bare float literals in unit fields",
+		Packages: packages,
+	}
+	a.Run = func(pass *Pass) error { return runUnitMix(pass, unitsPkg) }
+	return a
+}
+
+// unitType returns the named quantity type of t when t is defined in
+// the units package over a float basis, else nil.
+func unitType(t types.Type, unitsPkg string) *types.Named {
+	n, _ := t.(*types.Named)
+	if n == nil || n.Obj().Pkg() == nil {
+		return nil
+	}
+	if !matchPathSuffix(n.Obj().Pkg().Path(), unitsPkg) {
+		return nil
+	}
+	if b, ok := n.Underlying().(*types.Basic); !ok || b.Info()&types.IsFloat == 0 {
+		return nil
+	}
+	return n
+}
+
+func runUnitMix(pass *Pass, unitsPkg string) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, unitsPkg, x)
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, unitsPkg, x)
+			case *ast.AssignStmt:
+				checkFieldAssign(pass, unitsPkg, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// provenance resolves the quantity kind an expression carries, looking
+// through float64(...) and unit-type conversions and parentheses.
+func provenance(pass *Pass, unitsPkg string, e ast.Expr) *types.Named {
+	e = ast.Unparen(e)
+	if u := unitType(pass.TypesInfo().TypeOf(e), unitsPkg); u != nil {
+		return u
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	// A conversion T(x) carries x's provenance when T is float64 (the
+	// laundering case); a conversion to a unit type asserts a new kind
+	// and is taken at face value (handled above).
+	if tv, ok := pass.TypesInfo().Types[call.Fun]; ok && tv.IsType() {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			return provenance(pass, unitsPkg, call.Args[0])
+		}
+	}
+	return nil
+}
+
+func checkBinary(pass *Pass, unitsPkg string, b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		l := provenance(pass, unitsPkg, b.X)
+		r := provenance(pass, unitsPkg, b.Y)
+		if l != nil && r != nil && l != r {
+			pass.Reportf(b.OpPos, "%s %s %s mixes distinct quantity kinds %s and %s",
+				exprString(pass.Fset(), b.X), b.Op, exprString(pass.Fset(), b.Y), l.Obj().Name(), r.Obj().Name())
+		}
+	case token.MUL, token.QUO:
+		// Direct same-kind multiplication/division: both operands are
+		// the unit type itself (not laundered — U*U is well-typed and
+		// silently mislabels the result's dimension). Compile-time
+		// constants are exempt: `2600 * units.MHz` and `t * 2` are
+		// scalings, the recommended idiom, not dimension products.
+		if isConstOperand(pass, b.X) || isConstOperand(pass, b.Y) {
+			return
+		}
+		l := unitType(pass.TypesInfo().TypeOf(ast.Unparen(b.X)), unitsPkg)
+		r := unitType(pass.TypesInfo().TypeOf(ast.Unparen(b.Y)), unitsPkg)
+		if l == nil || r == nil || l != r {
+			return
+		}
+		name := l.Obj().Name()
+		if b.Op == token.MUL {
+			pass.Reportf(b.OpPos, "%s * %s squares the dimension but is still typed %s; convert through float64 and name the result's true kind",
+				name, name, name)
+			return
+		}
+		// U/U is a dimensionless ratio: fine if the result leaves the
+		// unit type immediately (float64(a/b)), wrong if it stays U.
+		if !convertedAway(pass, unitsPkg, b) {
+			pass.Reportf(b.OpPos, "%s / %s is a dimensionless ratio but is still typed %s; wrap in float64(...) at the division",
+				name, name, name)
+		}
+	}
+}
+
+// isConstOperand reports whether e is a compile-time constant (a scale
+// factor, not a quantity-carrying value).
+func isConstOperand(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo().Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}
+
+// convertedAway reports whether the binary expression is the direct
+// operand of a conversion to a non-unit type.
+func convertedAway(pass *Pass, unitsPkg string, b *ast.BinaryExpr) bool {
+	for _, f := range pass.Pkg.Files {
+		if !(f.FileStart <= b.Pos() && b.Pos() < f.FileEnd) {
+			continue
+		}
+		path := pathTo(f, b)
+		for i := len(path) - 2; i >= 0; i-- {
+			switch p := path[i].(type) {
+			case *ast.ParenExpr:
+				continue
+			case *ast.CallExpr:
+				if len(p.Args) == 1 && ast.Unparen(p.Args[0]) == ast.Expr(b) {
+					if tv, ok := pass.TypesInfo().Types[p.Fun]; ok && tv.IsType() {
+						return unitType(tv.Type, unitsPkg) == nil
+					}
+				}
+				return false
+			default:
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// checkCompositeLit flags untyped float literals in unit-typed fields
+// of structs defined in another package.
+func checkCompositeLit(pass *Pass, unitsPkg string, cl *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo().Types[cl]
+	if !ok {
+		return
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	n, _ := tv.Type.(*types.Named)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg() == pass.Pkg.Types {
+		return // same-package literals can see the field's docs
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var ft types.Type
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == key.Name {
+				ft = st.Field(i).Type()
+				break
+			}
+		}
+		reportBareFloat(pass, unitsPkg, ft, kv.Value, n.Obj().Name()+"."+key.Name)
+	}
+}
+
+// checkFieldAssign flags `x.Field = 2.5e9` where Field is unit-typed
+// and its struct is defined in another package.
+func checkFieldAssign(pass *Pass, unitsPkg string, as *ast.AssignStmt) {
+	if as.Tok != token.ASSIGN {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		v, ok := pass.TypesInfo().Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() || v.Pkg() == nil || v.Pkg() == pass.Pkg.Types {
+			continue
+		}
+		reportBareFloat(pass, unitsPkg, v.Type(), as.Rhs[i], exprString(pass.Fset(), lhs))
+	}
+}
+
+func reportBareFloat(pass *Pass, unitsPkg string, ft types.Type, val ast.Expr, field string) {
+	if ft == nil || unitType(ft, unitsPkg) == nil {
+		return
+	}
+	lit := bareFloatLit(val)
+	if lit == nil {
+		return
+	}
+	u := unitType(ft, unitsPkg)
+	pass.Reportf(val.Pos(), "bare float literal %s assigned to %s (%s) across a package boundary; spell the unit with a scale constant (e.g. n * units.%s-scale) or an integer",
+		lit.Value, field, u.Obj().Name(), u.Obj().Name())
+}
+
+// bareFloatLit unwraps parens and unary +/- and returns the FLOAT basic
+// literal beneath, or nil.
+func bareFloatLit(e ast.Expr) *ast.BasicLit {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.UnaryExpr:
+			if x.Op != token.ADD && x.Op != token.SUB {
+				return nil
+			}
+			e = x.X
+		case *ast.BasicLit:
+			if x.Kind == token.FLOAT {
+				return x
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -295,7 +295,7 @@ func Gather[T any](r *Rank, root int, block T, bytes units.Bytes) []T {
 	for bit := 0; (1 << bit) < p; bit++ {
 		if vrank&(1<<bit) != 0 {
 			parent := ((vrank &^ (1 << bit)) + root) % p
-			r.Send(parent, tag, acc, bytes*units.Bytes(len(acc)))
+			r.Send(parent, tag, acc, units.Bytes(float64(bytes)*float64(len(acc))))
 			return nil
 		}
 		childV := vrank | (1 << bit)

@@ -803,7 +803,7 @@ func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool, queueAfter 
 		alpha:     w.Alpha,
 		sliceOn:   perOn / float64(slices),
 		sliceOff:  perOff / float64(slices),
-		sliceComm: perComm / units.Seconds(float64(slices)),
+		sliceComm: units.Seconds(float64(perComm) / float64(slices)),
 		slices:    slices,
 		left:      cand.P,
 		pricedAt:  now,

@@ -34,6 +34,11 @@ type schedTelemetry struct {
 // metrics registry, and the cluster's hardware retune hook. Called from
 // Run before any event can fire.
 func newSchedTelemetry(s *Scheduler, rec *telemetry.Recorder) *schedTelemetry {
+	if rec == nil {
+		// Callers hold the Enabled() guard; a nil glue keeps every
+		// s.tel != nil emit site allocation-free regardless.
+		return nil
+	}
 	rec.SetClock(s.cl.Kernel())
 	m := rec.Metrics()
 	t := &schedTelemetry{

@@ -11,91 +11,30 @@
 // Non-benchmark lines (figure renderings, PASS/ok trailers) are passed
 // over silently; every recognised line contributes its full metric set
 // (ns/op, B/op, and any b.ReportMetric custom units).
+//
+// The parse/emit core lives in report.go so it is testable; main only
+// wires stdin/stdout and stamps provenance.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"strconv"
-	"strings"
 	"time"
 )
-
-// Benchmark is one parsed result line.
-type Benchmark struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	Metrics    map[string]float64 `json:"metrics"`
-}
-
-// Report is the archived document.
-type Report struct {
-	Commit     string      `json:"commit,omitempty"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	NumCPU     int         `json:"num_cpu"`
-	Timestamp  string      `json:"timestamp"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	commit := flag.String("commit", "", "commit SHA to stamp into the report")
 	flag.Parse()
 
-	rep := Report{
-		Commit:    *commit,
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-	}
-
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		if b, ok := parseLine(sc.Text()); ok {
-			rep.Benchmarks = append(rep.Benchmarks, b)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-}
-
-// parseLine recognises "BenchmarkX-8  <iters>  <value> <unit> [...]".
-// The -N GOMAXPROCS suffix is kept in the name: it is part of what was
-// measured.
-func parseLine(line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Benchmark{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	now := time.Now().UTC() //lint:wallclock CI provenance stamp on the archived artifact
+	rep, err := BuildReport(os.Stdin, *commit, now)
 	if err != nil {
-		return Benchmark{}, false
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
 	}
-	b := Benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Benchmark{}, false
-		}
-		b.Metrics[fields[i+1]] = v
+	if err := WriteReport(os.Stdout, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
 	}
-	if len(b.Metrics) == 0 {
-		return Benchmark{}, false
-	}
-	return b, true
 }

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		ok   bool
+		want Benchmark
+	}{
+		{
+			name: "standard ns/op line",
+			line: "BenchmarkSimKernelEvents-8   	135467766	         8.593 ns/op",
+			ok:   true,
+			want: Benchmark{
+				Name:       "BenchmarkSimKernelEvents-8",
+				Iterations: 135467766,
+				Metrics:    map[string]float64{"ns/op": 8.593},
+			},
+		},
+		{
+			name: "allocs and custom ReportMetric units",
+			line: "BenchmarkSchedule/cap2500W/bf-ee-max-8  256  4.61 ms/op  1842 B/op  12 allocs/op  0.92 joule/job",
+			ok:   true,
+			want: Benchmark{
+				Name:       "BenchmarkSchedule/cap2500W/bf-ee-max-8",
+				Iterations: 256,
+				Metrics: map[string]float64{
+					"ms/op": 4.61, "B/op": 1842, "allocs/op": 12, "joule/job": 0.92,
+				},
+			},
+		},
+		{name: "PASS trailer", line: "PASS", ok: false},
+		{name: "ok trailer", line: "ok  	repro	12.3s", ok: false},
+		{name: "figure rendering noise", line: "fig5: wrote testdata/fig5.csv (320 points)", ok: false},
+		{name: "empty line", line: "", ok: false},
+		{name: "non-numeric iteration count", line: "BenchmarkX-8  many  8.5 ns/op", ok: false},
+		{name: "malformed metric value", line: "BenchmarkX-8  100  fast ns/op", ok: false},
+		{name: "name only, too few fields", line: "BenchmarkX-8  100  8.5", ok: false},
+		{
+			name: "odd trailing field ignored",
+			line: "BenchmarkX-8  100  8.5 ns/op  77",
+			ok:   true,
+			want: Benchmark{Name: "BenchmarkX-8", Iterations: 100, Metrics: map[string]float64{"ns/op": 8.5}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseLine(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("parseLine(%q) ok = %v, want %v", tc.line, ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			if got.Name != tc.want.Name || got.Iterations != tc.want.Iterations {
+				t.Errorf("got %+v, want %+v", got, tc.want)
+			}
+			if len(got.Metrics) != len(tc.want.Metrics) {
+				t.Fatalf("metrics = %v, want %v", got.Metrics, tc.want.Metrics)
+			}
+			for unit, v := range tc.want.Metrics {
+				if got.Metrics[unit] != v {
+					t.Errorf("metric %q = %v, want %v", unit, got.Metrics[unit], v)
+				}
+			}
+		})
+	}
+}
+
+func TestBuildReportFiltersAndStamps(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: repro",
+		"BenchmarkA-8  100  8.5 ns/op",
+		"some figure banner",
+		"BenchmarkB-8  200  1.25 ms/op  3 allocs/op",
+		"PASS",
+		"ok  	repro	1.2s",
+	}, "\n")
+	now := time.Date(2011, 5, 16, 12, 0, 0, 0, time.UTC)
+	rep, err := BuildReport(strings.NewReader(input), "deadbeef", now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Commit != "deadbeef" {
+		t.Errorf("commit = %q", rep.Commit)
+	}
+	if rep.Timestamp != "2011-05-16T12:00:00Z" {
+		t.Errorf("timestamp = %q", rep.Timestamp)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkA-8" || rep.Benchmarks[1].Name != "BenchmarkB-8" {
+		t.Errorf("names = %q, %q", rep.Benchmarks[0].Name, rep.Benchmarks[1].Name)
+	}
+}
+
+func TestBuildReportOverlongLine(t *testing.T) {
+	// A line beyond the scanner's 1 MiB buffer must surface as an
+	// error, not a silent truncation.
+	long := "BenchmarkHuge-8 100 " + strings.Repeat("x", 2<<20)
+	_, err := BuildReport(strings.NewReader(long), "", time.Time{})
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, want bufio.ErrTooLong", err)
+	}
+}
+
+func TestWriteReportRoundTrip(t *testing.T) {
+	rep := Report{
+		Commit:    "abc",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		NumCPU:    8,
+		Timestamp: "2011-05-16T12:00:00Z",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA-8", Iterations: 100, Metrics: map[string]float64{"ns/op": 8.5}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if got.Commit != rep.Commit || len(got.Benchmarks) != 1 || got.Benchmarks[0].Metrics["ns/op"] != 8.5 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if !strings.HasPrefix(buf.String(), "{\n  \"commit\": \"abc\"") {
+		t.Errorf("expected stable indented JSON, got:\n%s", buf.String())
+	}
+}
