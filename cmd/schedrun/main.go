@@ -37,6 +37,18 @@
 // -reserve K holds EASY reservations for the first K blocked jobs
 // (conservative multi-reservation backfill; K > 1 implies -backfill).
 //
+// Fault injection (internal/faults) threads deterministic failures
+// through the runs: -faults takes a plan spec ("fail=3@10,mtbf=*:900,
+// mttr=*:120,emer=20-40:600,retries=2,ckpt=30,restart=5"), -faultfile
+// reads the same plan from CSV, and -mtbf/-mttr (always together) set a
+// wildcard failure/repair process for every pool from the command line;
+// -retries, -ckpt and -restartcost override the corresponding plan
+// knobs. A plan's power emergencies clamp the effective cap, so
+// -capdump — which exports the budget timeline alone — cannot combine
+// with fault injection. Fault runs print a per-policy fault summary,
+// and when any job is permanently lost (killed past its retry cap)
+// schedrun exits with status 4, mirroring the exit-3 violation gate.
+//
 // Observability (internal/telemetry) attaches to a single named policy:
 // -trace writes a Chrome trace-event JSON timeline (open in Perfetto or
 // chrome://tracing), -events the raw decision stream as NDJSON,
@@ -54,6 +66,8 @@
 //
 //	schedrun -jobs 64 -cap 2500 [-ranks 64] [-cluster systemg:32,dori:32]
 //	         [-capplan 0:2500,3600:1500 | -capfile plan.csv] [-capdump out.csv]
+//	         [-faults fail=3@10,retries=2 | -faultfile plan.csv]
+//	         [-mtbf S -mttr S] [-retries N] [-ckpt S] [-restartcost S]
 //	         [-policy all] [-backfill] [-reserve K] [-detail] [-edge]
 //	         [-trace out.json] [-events out.ndjson] [-metrics out.csv]
 //	         [-audit summary|all|ID] [-json out.json]
@@ -72,6 +86,7 @@ import (
 	"strings"
 
 	"repro/internal/capplan"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
@@ -86,6 +101,13 @@ func main() {
 	capPlan := flag.String("capplan", "", "time-varying cap plan as start:watts windows, e.g. 0:2500,3600:1500,7200:2500 (excludes -cap)")
 	capFile := flag.String("capfile", "", "read the cap plan from a t_s,cap_w CSV file (excludes -cap and -capplan)")
 	capDump := flag.String("capdump", "", "write the active cap plan to this CSV file (requires -capplan or -capfile)")
+	faultSpec := flag.String("faults", "", "fault-injection plan spec, e.g. fail=3@10,mtbf=*:900,mttr=*:120,retries=2,ckpt=30 (excludes -faultfile)")
+	faultFile := flag.String("faultfile", "", "read the fault plan from a kind,subject,t0_s,t1_s,value CSV file (excludes -faults)")
+	mtbf := flag.Float64("mtbf", 0, "wildcard mean time between failures in seconds for every pool (needs -mttr)")
+	mttr := flag.Float64("mttr", 0, "wildcard mean time to repair in seconds for every pool (needs -mtbf)")
+	retries := flag.Int("retries", 3, "retry cap: a job killed after this many restarts is permanently lost")
+	ckpt := flag.Float64("ckpt", 0, "checkpoint interval in seconds (0 disables periodic checkpoints)")
+	restartCost := flag.Float64("restartcost", 0, "restart surcharge in seconds added to every resumed attempt")
 	policy := flag.String("policy", "all", "policy to run: fifo, ee-max, fair-share, backfill+<name>, or all")
 	backfill := flag.Bool("backfill", false, "wrap every selected policy in EASY backfill reservations")
 	reserve := flag.Int("reserve", 1, "hold backfill reservations for the first K blocked jobs (K>1 implies -backfill)")
@@ -139,9 +161,93 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	// Fault knobs given on the command line override the corresponding
+	// plan knobs (flag.Visit distinguishes "explicitly set" from the
+	// default), so a CSV plan can be rerun with a different retry cap or
+	// checkpoint cadence without editing the file.
+	faultKnobs := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "mtbf", "mttr", "retries", "ckpt", "restartcost":
+			faultKnobs[f.Name] = true
+		}
+	})
+	if faultKnobs["mtbf"] != faultKnobs["mttr"] {
+		fmt.Fprintln(os.Stderr, "-mtbf and -mttr must be given together: a failure process without a repair rate (or vice versa) is underspecified")
+		os.Exit(2)
+	}
+	if *mtbf < 0 || *mttr < 0 {
+		fmt.Fprintf(os.Stderr, "-mtbf %g / -mttr %g must not be negative\n", *mtbf, *mttr)
+		os.Exit(2)
+	}
+	if *retries < 0 {
+		fmt.Fprintf(os.Stderr, "-retries %d must be at least 0\n", *retries)
+		os.Exit(2)
+	}
+	if *ckpt < 0 || *restartCost < 0 {
+		fmt.Fprintf(os.Stderr, "-ckpt %g / -restartcost %g must not be negative\n", *ckpt, *restartCost)
+		os.Exit(2)
+	}
+	var fplan *faults.Plan
+	switch {
+	case *faultSpec != "" && *faultFile != "":
+		fmt.Fprintln(os.Stderr, "-faults and -faultfile are mutually exclusive")
+		os.Exit(2)
+	case *faultSpec != "":
+		p, err := faults.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fplan = p
+	case *faultFile != "":
+		f, err := os.Open(*faultFile)
+		exitOn(err)
+		p, err := faults.ReadCSV(f)
+		f.Close()
+		exitOn(err)
+		fplan = p
+	}
+	if fplan == nil && faultKnobs["mtbf"] {
+		fplan = &faults.Plan{MaxRetries: *retries}
+	}
+	if fplan == nil && len(faultKnobs) > 0 {
+		fmt.Fprintln(os.Stderr, "-retries/-ckpt/-restartcost tune a fault plan; give one with -faults, -faultfile or -mtbf/-mttr")
+		os.Exit(2)
+	}
+	if fplan != nil {
+		if faultKnobs["mtbf"] {
+			// The command-line wildcard replaces a plan's wildcard entry;
+			// exact per-pool rates from the plan still win (RatesFor).
+			rates := fplan.Rates[:0:0]
+			for _, r := range fplan.Rates {
+				if r.Pool != "*" {
+					rates = append(rates, r)
+				}
+			}
+			fplan.Rates = append(rates, faults.PoolRates{Pool: "*", MTBF: units.Seconds(*mtbf), MTTR: units.Seconds(*mttr)})
+		}
+		if faultKnobs["retries"] {
+			fplan.MaxRetries = *retries
+		}
+		if faultKnobs["ckpt"] {
+			fplan.CheckpointEvery = units.Seconds(*ckpt)
+		}
+		if faultKnobs["restartcost"] {
+			fplan.RestartCost = units.Seconds(*restartCost)
+		}
+		if err := fplan.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	if *capDump != "" {
 		if plan == nil {
 			fmt.Fprintln(os.Stderr, "-capdump needs -capplan or -capfile")
+			os.Exit(2)
+		}
+		if fplan != nil {
+			fmt.Fprintln(os.Stderr, "-capdump exports the budget timeline alone and cannot combine with fault injection: power emergencies reshape the effective cap")
 			os.Exit(2)
 		}
 		f, err := os.Create(*capDump)
@@ -231,12 +337,16 @@ func main() {
 		shownRanks = platform.TotalRanks()
 	}
 	if plan != nil {
-		fmt.Printf("trace: %d jobs on %s/%d ranks under cap plan %s (seed %d)\n\n",
+		fmt.Printf("trace: %d jobs on %s/%d ranks under cap plan %s (seed %d)\n",
 			*jobs, platform, shownRanks, plan, *seed)
 	} else {
-		fmt.Printf("trace: %d jobs on %s/%d ranks under a %.0f W cap (seed %d)\n\n",
+		fmt.Printf("trace: %d jobs on %s/%d ranks under a %.0f W cap (seed %d)\n",
 			*jobs, platform, shownRanks, *cap, *seed)
 	}
+	if fplan != nil {
+		fmt.Printf("faults: %s\n", fplan)
+	}
+	fmt.Println()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -264,6 +374,7 @@ func main() {
 			} else {
 				cfg.Cap = units.Watts(*cap)
 			}
+			cfg.Faults = fplan
 			// Telemetry records only the final repetition: repetitions
 			// are identical, and the earlier ones exist purely as a
 			// profiling workload that should stay free of sink I/O.
@@ -336,10 +447,18 @@ func main() {
 	}
 
 	fmt.Print(sched.ComparisonTable(results))
-	if plan != nil {
+	if plan != nil || (fplan != nil && len(fplan.Emergencies) > 0) {
 		for _, r := range results {
 			fmt.Printf("\nbudget windows — %s (cap utilisation %.1f%%):\n%s",
 				r.Policy, r.CapUtilisation*100, r.WindowTable())
+		}
+	}
+	if fplan != nil {
+		fmt.Println()
+		for _, r := range results {
+			fmt.Printf("faults — %s: %d failures, %d repairs, %d kills, %d restarts, %d checkpoints, %d jobs lost, lost work %v, wasted energy %v, availability %.4f\n",
+				r.Policy, r.Failures, r.Repairs, r.Kills, r.Restarts, r.Checkpoints, r.JobsLost,
+				r.LostWork, r.WastedEnergy, r.Availability)
 		}
 	}
 	if *jsonPath != "" {
@@ -361,14 +480,27 @@ func main() {
 			violated = true
 		}
 	}
-	if violated {
-		// Distinct from the usage (2) and I/O (1) exits so CI smoke jobs
-		// can assert the zero-violation guarantee on the status alone.
-		// os.Exit skips the deferred profile flush, so stop it by hand.
+	lost := 0
+	for _, r := range results {
+		if r.JobsLost > 0 {
+			fmt.Printf("\nWARNING: %s permanently lost %d of %d jobs to failures\n", r.Policy, r.JobsLost, len(r.Jobs))
+			lost += r.JobsLost
+		}
+	}
+	if violated || lost > 0 {
+		// Distinct statuses — 3 for cap violations, 4 for jobs lost to
+		// failures (violations take precedence) — alongside the usage (2)
+		// and I/O (1) exits, so CI smoke jobs can assert the
+		// zero-violation and all-jobs-complete guarantees on the status
+		// alone. os.Exit skips the deferred profile flush, so stop it by
+		// hand.
 		if *cpuprofile != "" {
 			pprof.StopCPUProfile()
 		}
-		os.Exit(3)
+		if violated {
+			os.Exit(3)
+		}
+		os.Exit(4)
 	}
 }
 

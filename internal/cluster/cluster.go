@@ -493,6 +493,40 @@ func (c *Cluster) CompleteOp(rank int) {
 	c.noteEnd(c.kernel.Now())
 }
 
+// AbortOp cancels the in-flight operation on a rank mid-way — the fault
+// layer's path for killing a job's ops when the rank (or a sibling rank
+// of the same job) dies. Busy time is credited pro rata to the fraction
+// of the op's wall clock that elapsed, matching how BusySnapshot
+// attributes in-flight work, so the energy integral stays continuous
+// through a kill. The instruction counters keep the full work registered
+// at Start: the work was issued, the abort threw it away — which is
+// exactly the lost-work story the fault accounting tells. A rank with
+// nothing in flight is left untouched (killing an idle rank is legal).
+func (c *Cluster) AbortOp(rank int) {
+	r := c.checkRank(rank)
+	if !c.opActive[r] {
+		return
+	}
+	op := c.inflight[r]
+	c.inflight[r] = inflightOp{}
+	c.opActive[r] = false
+	frac := 1.0
+	if op.end > op.start {
+		frac = float64(c.kernel.Now()-op.start) / float64(op.end-op.start)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+	}
+	ctr := c.counters.Rank(r)
+	ctr.ComputeTime += units.Seconds(frac * float64(op.dc))
+	ctr.MemoryTime += units.Seconds(frac * float64(op.dm))
+	ctr.IOTime += units.Seconds(frac * float64(op.dio))
+	ctr.NetworkTime += units.Seconds(frac * float64(op.dnet))
+	c.noteEnd(c.kernel.Now())
+}
+
 // IOAccess models a flat I/O access of the given device time (paper
 // §VI.B: "a simple, flat model for I/O accesses"). The benchmarks of the
 // paper do not exercise it, but the component is wired through the energy

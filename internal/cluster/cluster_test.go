@@ -521,3 +521,63 @@ func TestComputeAlphaValidation(t *testing.T) {
 		t.Fatal("α outside (0,1] must abort the run")
 	}
 }
+
+func TestAbortOpProRata(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	k := c.Kernel()
+	// 1000 on-chip ops + 10 memory accesses = 1µs + 1µs busy, 2µs wall.
+	wall := c.StartCompute(0, 1000, 10, 1)
+	if math.Abs(float64(wall-2*units.Microsecond)) > 1e-15 {
+		t.Fatalf("wall = %v, want 2µs", wall)
+	}
+	// Abort half-way: half of each busy component must be credited.
+	k.After(wall/2, func() { c.AbortOp(0) })
+	if err := k.RunCallback(); err != nil {
+		t.Fatal(err)
+	}
+	ctr := c.Counters().Rank(0)
+	if math.Abs(float64(ctr.ComputeTime-500*units.Nanosecond)) > 1e-15 {
+		t.Fatalf("compute busy = %v, want 500ns", ctr.ComputeTime)
+	}
+	if math.Abs(float64(ctr.MemoryTime-500*units.Nanosecond)) > 1e-15 {
+		t.Fatalf("memory busy = %v, want 500ns", ctr.MemoryTime)
+	}
+	// The issued instruction counts stay whole — that work was lost, not
+	// unissued.
+	if ctr.OnChipOps != 1000 || ctr.OffChipAccesses != 10 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+	// Makespan advanced to the abort time.
+	if math.Abs(float64(c.Wall()-1*units.Microsecond)) > 1e-15 {
+		t.Fatalf("wall = %v, want 1µs", c.Wall())
+	}
+}
+
+func TestAbortOpRankReusable(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	k := c.Kernel()
+	wall := c.StartCompute(0, 1000, 10, 1)
+	k.After(wall/4, func() {
+		c.AbortOp(0)
+		// The rank must accept a fresh op immediately after an abort.
+		w2 := c.StartCompute(0, 100, 0, 1)
+		k.After(w2, func() { c.CompleteOp(0) })
+	})
+	if err := k.RunCallback(); err != nil {
+		t.Fatal(err)
+	}
+	ctr := c.Counters().Rank(0)
+	// 25% of (1µs + 1µs) + full 100ns compute.
+	if math.Abs(float64(ctr.ComputeTime-350*units.Nanosecond)) > 1e-15 {
+		t.Fatalf("compute busy = %v, want 350ns", ctr.ComputeTime)
+	}
+}
+
+func TestAbortOpIdleRankNoop(t *testing.T) {
+	c := mustNew(t, Config{Spec: testSpec(), Ranks: 1})
+	c.AbortOp(0) // nothing in flight: must not panic
+	ctr := c.Counters().Rank(0)
+	if ctr.ComputeTime != 0 || ctr.MemoryTime != 0 {
+		t.Fatalf("counters changed on idle abort: %+v", ctr)
+	}
+}

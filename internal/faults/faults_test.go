@@ -1,0 +1,222 @@
+package faults
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/capplan"
+	"repro/internal/units"
+)
+
+func testPlan() *Plan {
+	return &Plan{
+		Scripted: []Scripted{
+			{Rank: 3, T: 10},
+			{Rank: 3, T: 60, Repair: true},
+			{Rank: 7, T: 25},
+		},
+		Rates: []PoolRates{
+			{Pool: "systemg", MTBF: 900, MTTR: 120},
+			{Pool: "*", MTBF: 3600, MTTR: 60},
+		},
+		Emergencies: []Emergency{
+			{Start: 20, End: 40, Cap: 600},
+		},
+		MaxRetries:      2,
+		CheckpointEvery: 30,
+		RestartCost:     5,
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	p := testPlan()
+	spec := p.String()
+	got, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatalf("ParsePlan(%q): %v", spec, err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v\nspec %q", got, p, spec)
+	}
+	// And the render is a fixed point.
+	if got.String() != spec {
+		t.Fatalf("String not canonical: %q != %q", got.String(), spec)
+	}
+}
+
+func TestParsePlanGrammar(t *testing.T) {
+	p, err := ParsePlan("fail=3@10,repair=3@60,mtbf=*:900,mttr=*:120,emer=20-40:600,retries=2,ckpt=30,restart=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Scripted) != 2 || p.Scripted[0].Rank != 3 || p.Scripted[1].Repair != true {
+		t.Fatalf("scripted = %+v", p.Scripted)
+	}
+	r, ok := p.RatesFor("anything")
+	if !ok || r.MTBF != 900 || r.MTTR != 120 {
+		t.Fatalf("wildcard rates = %+v ok=%v", r, ok)
+	}
+	if len(p.Emergencies) != 1 || p.Emergencies[0].Cap != 600 {
+		t.Fatalf("emergencies = %+v", p.Emergencies)
+	}
+	if p.MaxRetries != 2 || p.CheckpointEvery != 30 || p.RestartCost != 5 {
+		t.Fatalf("knobs = %+v", p)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus=1",
+		"fail=3",            // missing @T
+		"fail=x@1",          // bad rank
+		"fail=-1@1",         // negative rank
+		"fail=1@-2",         // negative time
+		"mtbf=:900",         // empty pool
+		"mtbf=a:900",        // mtbf without mttr
+		"mttr=a:120",        // mttr without mtbf
+		"mtbf=a:0,mttr=a:1", // non-positive MTBF
+		"emer=40-20:600",    // empty window
+		"emer=0-10:0",       // non-positive cap
+		"emer=10:600",       // missing range
+		"retries=-1",
+		"ckpt=-1",
+		"restart=-1",
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid spec", spec)
+		}
+	}
+}
+
+func TestRatesForExactBeatsWildcard(t *testing.T) {
+	p := testPlan()
+	r, ok := p.RatesFor("systemg")
+	if !ok || r.MTBF != 900 {
+		t.Fatalf("exact match rates = %+v ok=%v", r, ok)
+	}
+	r, ok = p.RatesFor("dori")
+	if !ok || r.MTBF != 3600 {
+		t.Fatalf("wildcard rates = %+v ok=%v", r, ok)
+	}
+	empty := &Plan{}
+	if _, ok := empty.RatesFor("x"); ok {
+		t.Fatal("empty plan returned rates")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	p := testPlan()
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), csvHeader+"\n") {
+		t.Fatalf("csv missing header: %q", buf.String())
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v\ncsv:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("csv round trip:\n got %+v\nwant %+v\ncsv:\n%s", got, p, buf.String())
+	}
+	// Headerless CSV parses too (a hand-written file).
+	body := strings.SplitN(buf.String(), "\n", 2)[1]
+	got2, err := ReadCSV(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, p) {
+		t.Fatal("headerless csv differs")
+	}
+}
+
+func TestEffectiveCapsNoEmergenciesSamePointer(t *testing.T) {
+	base := capplan.Constant(2500)
+	p := &Plan{Scripted: []Scripted{{Rank: 0, T: 1}}}
+	eff, err := p.EffectiveCaps(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eff != base {
+		t.Fatal("no emergencies must return the base plan unchanged")
+	}
+}
+
+func TestEffectiveCapsComposition(t *testing.T) {
+	base, err := capplan.Steps(
+		capplan.Segment{Start: 0, Cap: 2500},
+		capplan.Segment{Start: 100, Cap: 1500},
+		capplan.Segment{Start: 200, Cap: 2500},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Plan{Emergencies: []Emergency{
+		{Start: 50, End: 150, Cap: 1000},
+		{Start: 120, End: 130, Cap: 800}, // nested, deeper clamp
+	}}
+	eff, err := p.EffectiveCaps(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		t    units.Seconds
+		want units.Watts
+	}{
+		{0, 2500},   // before anything
+		{49, 2500},  // just before the emergency
+		{50, 1000},  // emergency clamps below base
+		{100, 1000}, // base drops to 1500, emergency still lower
+		{120, 800},  // nested deeper emergency
+		{130, 1000}, // back to the outer emergency
+		{150, 1500}, // emergency over, base window rules
+		{200, 2500}, // base recovers
+	} {
+		if got := eff.CapAt(tc.t); got != tc.want {
+			t.Errorf("CapAt(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestEffectiveCapsEmergencyAboveBaseIsNoop(t *testing.T) {
+	base := capplan.Constant(1000)
+	p := &Plan{Emergencies: []Emergency{{Start: 10, End: 20, Cap: 5000}}}
+	eff, err := p.EffectiveCaps(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eff.CapAt(15); got != 1000 {
+		t.Fatalf("CapAt(15) = %v, want base 1000", got)
+	}
+	if got := eff.MinCap(); got != 1000 {
+		t.Fatalf("MinCap = %v, want 1000", got)
+	}
+}
+
+func TestValidateCatchesBadPlans(t *testing.T) {
+	bad := []*Plan{
+		{Scripted: []Scripted{{Rank: -1, T: 0}}},
+		{Scripted: []Scripted{{Rank: 0, T: -1}}},
+		{Rates: []PoolRates{{Pool: "", MTBF: 1, MTTR: 1}}},
+		{Rates: []PoolRates{{Pool: "a", MTBF: 1, MTTR: 1}, {Pool: "a", MTBF: 2, MTTR: 2}}},
+		{Rates: []PoolRates{{Pool: "a", MTBF: 0, MTTR: 1}}},
+		{Rates: []PoolRates{{Pool: "a", MTBF: 1, MTTR: 0}}},
+		{Emergencies: []Emergency{{Start: -1, End: 1, Cap: 1}}},
+		{Emergencies: []Emergency{{Start: 5, End: 5, Cap: 1}}},
+		{Emergencies: []Emergency{{Start: 0, End: 1, Cap: 0}}},
+		{MaxRetries: -1},
+		{CheckpointEvery: -1},
+		{RestartCost: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d validated: %+v", i, p)
+		}
+	}
+	if err := testPlan().Validate(); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}

@@ -6,7 +6,7 @@ package lint
 // must not be observable. (cmd/figures matches "figures" deliberately:
 // its CSV output is golden-pinned too.)
 var DeterministicPackages = []string{
-	"sched", "sim", "cluster", "capplan",
+	"sched", "sim", "cluster", "capplan", "faults",
 	"figures", "analysis", "opcache", "machine",
 }
 
@@ -20,7 +20,7 @@ func Default() []*Analyzer {
 		// profiler wall timing) carry //lint:wallclock annotations.
 		SimClock(),
 		TelGuard(
-			[]string{"internal/sched", "internal/power"},
+			[]string{"internal/sched", "internal/power", "internal/faults"},
 			[]string{"telemetry.Recorder", "sched.schedTelemetry"},
 		),
 		// unitmix scans the whole tree: unit discipline binds callers

@@ -22,7 +22,7 @@ func TestDetMapRangeFixtures(t *testing.T) {
 }
 
 func TestSimClockFixtures(t *testing.T) {
-	RunFixtures(t, fixtureRoot(t), SimClock(), "clock/a")
+	RunFixtures(t, fixtureRoot(t), SimClock(), "clock/a", "clock/frng")
 }
 
 func TestTelGuardFixtures(t *testing.T) {

@@ -50,6 +50,17 @@ type Row struct {
 	Draw []units.Watts
 }
 
+// PartialTp prices a fraction of the row's predicted runtime at ladder
+// index fi. The fault layer's checkpoint/restart accounting is built on
+// it: the work lost at a kill is frac = (progress − last checkpoint) of
+// the job's full runtime, and a restarted job re-executes exactly that
+// fraction — both priced through the same cached prediction the
+// admission decision used, so lost work, retry sizing and the schedule
+// stay mutually consistent.
+func (r *Row) PartialTp(fi int, frac float64) units.Seconds {
+	return units.Seconds(frac * float64(r.Pred[fi].Tp))
+}
+
 type rowKey struct {
 	n float64
 	p int

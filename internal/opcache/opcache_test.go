@@ -244,3 +244,26 @@ func BenchmarkRowHit(b *testing.B) {
 		}
 	}
 }
+
+// PartialTp must be an exact fraction of the cached prediction — the
+// fault layer's lost-work and restart pricing depends on the identity
+// PartialTp(fi, a) + PartialTp(fi, b) == (a+b)·Tp.
+func TestPartialTp(t *testing.T) {
+	c := testCache(t)
+	row, err := c.Row("job", app.FT(20), float64(1<<18), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Ladder() {
+		if got := row.PartialTp(i, 1); got != row.Pred[i].Tp {
+			t.Fatalf("fi=%d: PartialTp(1) = %v, want Tp %v", i, got, row.Pred[i].Tp)
+		}
+		if got := row.PartialTp(i, 0); got != 0 {
+			t.Fatalf("fi=%d: PartialTp(0) = %v, want 0", i, got)
+		}
+		half := row.PartialTp(i, 0.5)
+		if float64(half) != 0.5*float64(row.Pred[i].Tp) {
+			t.Fatalf("fi=%d: PartialTp(0.5) = %v, want half of %v", i, half, row.Pred[i].Tp)
+		}
+	}
+}

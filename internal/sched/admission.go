@@ -61,9 +61,11 @@ func (s *Scheduler) candidateAt(j Job, pool, p int, f units.Hertz) (Candidate, b
 	if err != nil {
 		return Candidate{}, false
 	}
+	pred := row.Pred[fi]
+	pred.Tp = s.predTp(j.ID, row, fi)
 	return Candidate{
 		Pool:  pool,
-		Point: analysis.Point{Pool: ps.name, P: p, Freq: f, N: j.N, Prediction: row.Pred[fi]},
+		Point: analysis.Point{Pool: ps.name, P: p, Freq: f, N: j.N, Prediction: pred},
 		Cost:  s.marginalCost(pool, row.Draw[fi], p),
 	}, true
 }
@@ -128,7 +130,7 @@ func (s *Scheduler) bestCandidate(j Job, free []int, budget units.Watts, obj ana
 	// Under a plan, the control cap at now is loop-invariant: hoist it
 	// so each candidate pays only its own lifetime-window walk.
 	var ctrl units.Watts
-	if s.cfg.Plan != nil {
+	if s.effPlan != nil {
 		ctrl = s.controlCap(now)
 	}
 	var best, bestDL Candidate
@@ -154,16 +156,21 @@ func (s *Scheduler) bestCandidate(j Job, free []int, budget units.Watts, obj ana
 			}
 			for fi := range ps.ladder {
 				cost := s.marginalCost(pi, row.Draw[fi], p)
+				// Restarted jobs are priced at their remaining work plus
+				// the restart surcharge; predTp is the full Tp otherwise.
+				tp := s.predTp(j.ID, row, fi)
 				allowed := budget
-				if s.cfg.Plan != nil {
-					allowed = s.narrowToLifetime(ctrl, now, budget, row.Pred[fi].Tp)
+				if s.effPlan != nil {
+					allowed = s.narrowToLifetime(ctrl, now, budget, tp)
 				}
 				if cost > allowed {
 					continue
 				}
+				pred := row.Pred[fi]
+				pred.Tp = tp
 				c := Candidate{
 					Pool:  pi,
-					Point: analysis.Point{Pool: ps.name, P: p, Freq: ps.ladder[fi], N: j.N, Prediction: row.Pred[fi]},
+					Point: analysis.Point{Pool: ps.name, P: p, Freq: ps.ladder[fi], N: j.N, Prediction: pred},
 					Cost:  cost,
 				}
 				if !permitted(rsvs, j.ID, now, c) {
@@ -205,7 +212,7 @@ func (s *Scheduler) blockReason(j Job) string {
 	}
 	maxTp := units.Seconds(float64(refTp) * s.perfSlack())
 	var ctrl units.Watts
-	if s.cfg.Plan != nil {
+	if s.effPlan != nil {
 		ctrl = s.controlCap(now)
 	}
 	anyWidth, anyEligible, fitsBudget, fitsPlan := false, false, false, false
@@ -231,13 +238,16 @@ func (s *Scheduler) blockReason(j Job) string {
 					continue
 				}
 				fitsBudget = true
-				if s.cfg.Plan != nil && cost > s.narrowToLifetime(ctrl, now, budget, row.Pred[fi].Tp) {
+				tp := s.predTp(j.ID, row, fi)
+				if s.effPlan != nil && cost > s.narrowToLifetime(ctrl, now, budget, tp) {
 					continue
 				}
 				fitsPlan = true
+				pred := row.Pred[fi]
+				pred.Tp = tp
 				c := Candidate{
 					Pool:  pi,
-					Point: analysis.Point{Pool: ps.name, P: p, Freq: ps.ladder[fi], N: j.N, Prediction: row.Pred[fi]},
+					Point: analysis.Point{Pool: ps.name, P: p, Freq: ps.ladder[fi], N: j.N, Prediction: pred},
 					Cost:  cost,
 				}
 				if !permitted(s.rsvs, j.ID, now, c) {

@@ -254,7 +254,7 @@ func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext
 			continue // coalesce simultaneous completions
 		}
 		avail := watts
-		if s.cfg.Plan != nil {
+		if s.effPlan != nil {
 			// The shadow state's budget lives under the control cap at
 			// the event's own time, not at now.
 			avail += s.controlCap(e.t) - s.controlCap(ctx.now)

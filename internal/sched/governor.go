@@ -214,7 +214,7 @@ func (g *governor) retune(rj *runningJob, idx int, why string) {
 		g.s.tel.emitRetune(rj, rj.fIdx, idx, why)
 	}
 	now := g.s.cl.Kernel().Now()
-	if tp := rj.prof.Pred[rj.fIdx].Tp; tp > 0 {
+	if tp := scaledTp(rj, rj.fIdx); tp > 0 {
 		rj.progress += float64(now-rj.pricedAt) / float64(tp)
 		if rj.progress > 1 {
 			rj.progress = 1

@@ -21,6 +21,11 @@ const (
 	Done
 	// Rejected: can never run under this cluster and cap.
 	Rejected
+	// Lost: killed by rank failures more times than the fault plan's
+	// retry cap allows (or stranded by permanent capacity loss after
+	// already consuming cluster time); only reachable under fault
+	// injection (Config.Faults).
+	Lost
 )
 
 func (s JobState) String() string {
@@ -33,6 +38,8 @@ func (s JobState) String() string {
 		return "done"
 	case Rejected:
 		return "rejected"
+	case Lost:
+		return "lost"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -152,6 +159,18 @@ type JobResult struct {
 	ModelEE float64
 	// DeadlineMet reports End ≤ Arrival+Deadline for jobs with one.
 	DeadlineMet bool
+
+	// Fault-injection accounting (zero without Config.Faults).
+	// Restarts counts re-dispatches after a rank failure killed an
+	// attempt; Checkpoints counts periodic checkpoints taken; LostWork
+	// is the model runtime of completed-then-discarded work (progress
+	// past the last checkpoint at each kill); WastedEnergy is the
+	// measured energy of killed attempts — spent, but buying no
+	// completed job.
+	Restarts     int
+	Checkpoints  int
+	LostWork     units.Seconds
+	WastedEnergy units.Joules
 }
 
 // TraceConfig shapes SyntheticTrace.

@@ -75,6 +75,21 @@ type Result struct {
 	PeakPower     units.Watts
 	MeanPower     units.Watts
 	FreqChanges   int
+
+	// Fault-injection accounting (zero without Config.Faults).
+	// Failures/Repairs count rank fail and repair events; Kills counts
+	// attempts aborted mid-run; Restarts counts re-dispatches of killed
+	// jobs; JobsLost counts jobs that exhausted the retry cap (or were
+	// stranded after running); Checkpoints counts periodic checkpoints.
+	Failures, Repairs, Kills, Restarts, JobsLost, Checkpoints int
+	// LostWork sums the discarded model runtime across kills;
+	// WastedEnergy the measured energy of killed attempts.
+	LostWork     units.Seconds
+	WastedEnergy units.Joules
+	// Availability is the rank-time fraction the cluster was healthy:
+	// 1 − downtime / (ranks × makespan), with still-open failures
+	// clamped at the makespan. Exactly 1 without fault injection.
+	Availability float64
 }
 
 // collect assembles the Result after the kernel drains.
@@ -108,6 +123,8 @@ func (s *Scheduler) collect() Result {
 		res.Jobs = append(res.Jobs, r)
 		res.TotalEnergy += r.Energy
 		res.FreqChanges += r.FreqChanges
+		res.LostWork += r.LostWork
+		res.WastedEnergy += r.WastedEnergy
 		switch r.State {
 		case Done:
 			res.Completed++
@@ -125,14 +142,41 @@ func (s *Scheduler) collect() Result {
 			if r.Deadline > 0 {
 				res.DeadlineMisses++
 			}
+		case Lost:
+			res.JobsLost++
+			if r.Deadline > 0 {
+				res.DeadlineMisses++
+			}
 		}
 	}
-	if s.cfg.Plan != nil {
-		res.Cap = s.cfg.Plan.CapAt(0)
-		res.Plan = s.cfg.Plan.String()
+	if s.effPlan != nil {
+		// The effective timeline (budget plan clamped by any power
+		// emergencies) is what every decision and audit priced against,
+		// so the window accounting slices along it.
+		res.Cap = s.effPlan.CapAt(0)
+		res.Plan = s.effPlan.String()
 		res.Windows, res.CapUtilisation = s.collectWindows()
 	}
 	res.HeadBypasses = s.headBypasses
+	res.Availability = 1
+	if s.flt != nil {
+		res.Failures = s.flt.nFail
+		res.Repairs = s.flt.nRepair
+		res.Kills = s.flt.nKill
+		res.Restarts = s.flt.nRestart
+		res.Checkpoints = s.flt.nCheckpoint
+		down := float64(s.flt.downTime)
+		for r := range s.flt.dead {
+			// Failures still open when the trace drained are clamped at
+			// the makespan.
+			if s.flt.dead[r] && s.flt.deadSince[r] < res.Makespan {
+				down += float64(res.Makespan - s.flt.deadSince[r])
+			}
+		}
+		if res.Makespan > 0 && s.cl.Ranks() > 0 {
+			res.Availability = 1 - down/(float64(res.Makespan)*float64(s.cl.Ranks()))
+		}
+	}
 	if res.Completed > 0 {
 		res.EnergyPerJob = units.Joules(float64(energy) / float64(res.Completed))
 		res.MeanEE = ee / float64(res.Completed)
@@ -179,7 +223,7 @@ func (s *Scheduler) collectWindows() ([]WindowStat, float64) {
 		return nil, 0
 	}
 	horizon := prof.Samples[len(prof.Samples)-1].T
-	segs := s.cfg.Plan.Segments()
+	segs := s.effPlan.Segments()
 	var stats []WindowStat
 	for i, sg := range segs {
 		// A segment starting exactly at the last sample time still owns
@@ -260,6 +304,11 @@ func (j JobResult) MarshalJSON() ([]byte, error) {
 		Energy      units.Joules  `json:"energy_j"`
 		ModelEE     float64       `json:"model_ee,omitempty"`
 		DeadlineMet bool          `json:"deadline_met,omitempty"`
+
+		Restarts     int           `json:"restarts,omitempty"`
+		Checkpoints  int           `json:"checkpoints,omitempty"`
+		LostWork     units.Seconds `json:"lost_work_s,omitempty"`
+		WastedEnergy units.Joules  `json:"wasted_energy_j,omitempty"`
 	}{
 		ID:          j.ID,
 		App:         j.Vector.Name,
@@ -282,6 +331,11 @@ func (j JobResult) MarshalJSON() ([]byte, error) {
 		Energy:      j.Energy,
 		ModelEE:     j.ModelEE,
 		DeadlineMet: j.DeadlineMet,
+
+		Restarts:     j.Restarts,
+		Checkpoints:  j.Checkpoints,
+		LostWork:     j.LostWork,
+		WastedEnergy: j.WastedEnergy,
 	})
 }
 

@@ -6,9 +6,11 @@ import (
 
 	"repro/internal/capplan"
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/opcache"
 	"repro/internal/power"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 )
@@ -39,6 +41,16 @@ type Config struct {
 	// mutually exclusive; nil keeps today's constant-cap behaviour
 	// byte-identical.
 	Plan *capplan.Plan
+	// Faults, when set, injects deterministic node failures, repairs and
+	// power emergencies into the run (internal/faults): scripted
+	// fail/repair events, per-pool MTBF/MTTR exponential processes drawn
+	// from an explicit-source RNG seeded by Seed, and emergency windows
+	// that clamp the effective cap below the configured budget. Rank
+	// failures kill the jobs running on them mid-phase; killed jobs are
+	// resubmitted under the plan's retry cap with a checkpoint/restart
+	// cost model. Nil (the default) keeps every schedule byte-identical
+	// to a fault-free run — pinned by the golden tests.
+	Faults *faults.Plan
 	// Policy picks operating points at admission (default EEMax).
 	Policy Policy
 	// Interval is the governor/profiler sampling period; zero selects
@@ -101,6 +113,16 @@ type Scheduler struct {
 	// every emit site guards on it (internal/sched/telemetry.go).
 	tel *schedTelemetry
 
+	// effPlan is the cap timeline every budget decision prices against:
+	// Config.Plan composed with the fault plan's power emergencies
+	// (faults.Plan.EffectiveCaps). With no emergencies it is Config.Plan
+	// itself — same pointer, so the no-fault paths keep exact object
+	// identity — and nil for a constant cap without emergencies.
+	effPlan *capplan.Plan
+	// flt is the fault-injection state, nil when Config.Faults is nil;
+	// every fault site guards on it (internal/sched/faults.go).
+	flt *faultState
+
 	// pools mirror Config.Platform.Pools; every candidate names the pool
 	// that priced it and rank assignment draws from that pool's free
 	// list.
@@ -159,6 +181,9 @@ type Scheduler struct {
 type entry struct {
 	job Job
 	res JobResult
+	// saved is the checkpointed progress fraction a killed job resumes
+	// from at its next dispatch (0 without checkpointing: start over).
+	saved float64
 }
 
 // runningJob is the execution state of one dispatched job.
@@ -192,6 +217,21 @@ type runningJob struct {
 	// remaining work is always priced at the current ladder point.
 	progress float64
 	pricedAt units.Seconds
+
+	// Fault-injection state (zero-valued without Config.Faults): killed
+	// marks an attempt a rank failure aborted; timer/rankTimers/ckptTimer
+	// are the pending kernel events a kill must cancel; base is the
+	// absolute progress fraction this attempt resumed from, lastCkpt the
+	// latest checkpointed absolute fraction; workScale stretches the
+	// model runtime of a resumed attempt (remaining work plus restart
+	// surcharge over the full run — 0 or 1 means unscaled).
+	killed     bool
+	timer      sim.Timer
+	rankTimers []sim.Timer
+	ckptTimer  sim.Timer
+	base       float64
+	lastCkpt   float64
+	workScale  float64
 }
 
 // phaseCursor is one rank's position in its slice sequence.
@@ -243,6 +283,16 @@ func New(cfg Config) (*Scheduler, error) {
 	} else if cfg.Cap <= 0 {
 		return nil, fmt.Errorf("sched: power cap %v must be positive", cfg.Cap)
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		for _, ev := range cfg.Faults.Scripted {
+			if ev.Rank >= cfg.Ranks {
+				return nil, fmt.Errorf("sched: fault plan scripts rank %d but only %d ranks are provisioned", ev.Rank, cfg.Ranks)
+			}
+		}
+	}
 
 	cl, err := cluster.New(cluster.Config{
 		Platform:  cfg.Platform,
@@ -291,12 +341,28 @@ func New(cfg Config) (*Scheduler, error) {
 		floor += units.Watts(float64(s.pools[i].size) * float64(s.pools[i].idleMin))
 	}
 	s.idleFloor = floor
+	s.effPlan = cfg.Plan
+	if cfg.Faults != nil {
+		if len(cfg.Faults.Emergencies) > 0 {
+			base := cfg.Plan
+			if base == nil {
+				base = capplan.Constant(cfg.Cap)
+			}
+			eff, err := cfg.Faults.EffectiveCaps(base)
+			if err != nil {
+				return nil, err
+			}
+			s.effPlan = eff
+		}
+		s.flt = newFaultState(s)
+	}
 	minCap := cfg.Cap
-	if cfg.Plan != nil {
-		// The tightest plan window is the binding constraint: a budget
-		// below the idle floor anywhere on the timeline guarantees
-		// violations while that window is in force.
-		minCap = cfg.Plan.MinCap()
+	if s.effPlan != nil {
+		// The tightest effective window (budget timeline clamped by any
+		// power emergency) is the binding constraint: a budget below the
+		// idle floor anywhere on the timeline guarantees violations while
+		// that window is in force.
+		minCap = s.effPlan.MinCap()
 	}
 	if minCap < floor {
 		return nil, fmt.Errorf("sched: cap %v is below the cluster idle floor %v (%d ranks parked at each pool's ladder minimum) — no schedule can satisfy it",
@@ -308,10 +374,10 @@ func New(cfg Config) (*Scheduler, error) {
 // capAt is the instantaneous power budget at time t — the reference the
 // violation audit compares measured samples against.
 func (s *Scheduler) capAt(t units.Seconds) units.Watts {
-	if s.cfg.Plan == nil {
+	if s.effPlan == nil {
 		return s.cfg.Cap
 	}
-	return s.cfg.Plan.CapAt(t)
+	return s.effPlan.CapAt(t)
 }
 
 // controlCap is the budget the control plane enforces at time t: the
@@ -323,10 +389,10 @@ func (s *Scheduler) capAt(t units.Seconds) units.Watts {
 // under the cap the window is judged against. With no plan this is the
 // constant cap.
 func (s *Scheduler) controlCap(t units.Seconds) units.Watts {
-	if s.cfg.Plan == nil {
+	if s.effPlan == nil {
 		return s.cfg.Cap
 	}
-	return s.cfg.Plan.MinOver(t, t+s.cfg.Interval)
+	return s.effPlan.MinOver(t, t+s.cfg.Interval)
 }
 
 // lifetimeCap is the admission reference for a job predicted to run for
@@ -337,10 +403,10 @@ func (s *Scheduler) controlCap(t units.Seconds) units.Watts {
 // budget steps with zero violations even for policies the governor
 // cannot retune (fifo has no DVFS to throttle at the step).
 func (s *Scheduler) lifetimeCap(t units.Seconds, tp units.Seconds) units.Watts {
-	if s.cfg.Plan == nil {
+	if s.effPlan == nil {
 		return s.cfg.Cap
 	}
-	return s.cfg.Plan.MinOver(t, t+tp+s.cfg.Interval)
+	return s.effPlan.MinOver(t, t+tp+s.cfg.Interval)
 }
 
 // budgetOverLifetime narrows an admission budget (measured against the
@@ -348,7 +414,7 @@ func (s *Scheduler) lifetimeCap(t units.Seconds, tp units.Seconds) units.Watts {
 // control cap during a candidate's predicted residence. With no plan
 // the budget is returned unchanged.
 func (s *Scheduler) budgetOverLifetime(now units.Seconds, budget units.Watts, tp units.Seconds) units.Watts {
-	if s.cfg.Plan == nil {
+	if s.effPlan == nil {
 		return budget
 	}
 	return s.narrowToLifetime(s.controlCap(now), now, budget, tp)
@@ -398,7 +464,13 @@ func (s *Scheduler) ladderOf(rj *runningJob) []units.Hertz {
 func (s *Scheduler) predictedTotal() units.Watts {
 	var total units.Watts
 	for i := range s.pools {
-		total += units.Watts(float64(len(s.pools[i].free)) * float64(s.pools[i].idleMin))
+		idle := len(s.pools[i].free)
+		if s.flt != nil {
+			// Dead ranks are fenced off the free list but their hardware
+			// still draws parked idle power until repaired.
+			idle += s.flt.deadByPool[i]
+		}
+		total += units.Watts(float64(idle) * float64(s.pools[i].idleMin))
 	}
 	for _, rj := range s.running {
 		total += rj.prof.Draw[rj.fIdx]
@@ -421,13 +493,13 @@ func (s *Scheduler) headroom() units.Watts {
 func (s *Scheduler) predictedEndAt(rj *runningJob, idx int) units.Seconds {
 	now := s.cl.Kernel().Now()
 	frac := rj.progress
-	if tp := rj.prof.Pred[rj.fIdx].Tp; tp > 0 {
+	if tp := scaledTp(rj, rj.fIdx); tp > 0 {
 		frac += float64(now-rj.pricedAt) / float64(tp)
 	}
 	if frac > 1 {
 		frac = 1
 	}
-	return now + units.Seconds((1-frac)*float64(rj.prof.Pred[idx].Tp))
+	return now + units.Seconds((1-frac)*float64(scaledTp(rj, idx)))
 }
 
 // predictedEnd is predictedEndAt at the job's current frequency.
@@ -487,8 +559,14 @@ func (s *Scheduler) Run(jobs []Job) (Result, error) {
 	// measurement window spanning the step averages above the incoming
 	// cap, and at a rise the freed budget should reach the queue and the
 	// running jobs immediately rather than at the next sample.
-	if s.cfg.Plan != nil {
+	if s.effPlan != nil {
 		s.schedulePlanEdges()
+	}
+	// Fault events (scripted fail/repair, MTBF chains, emergency
+	// markers) are armed after the plan edges so a fault and an edge at
+	// the same instant fire in a fixed order.
+	if s.flt != nil {
+		s.scheduleFaults()
 	}
 
 	// Arrival events are scheduled in submission order so that same-time
@@ -579,53 +657,74 @@ func (s *Scheduler) tryAdmit() {
 		// (the "waiting beats crawling" rule, admission.go). Skip the
 		// relaxed pass in that case and let the breakpoint edges rerun
 		// this one.
-		betterAhead := s.cfg.Plan != nil && now < s.cfg.Plan.End() &&
-			s.cfg.Plan.MaxFrom(now) > s.controlCap(now)
+		betterAhead := s.effPlan != nil && now < s.effPlan.End() &&
+			s.effPlan.MaxFrom(now) > s.controlCap(now)
 		if !betterAhead {
 			admitted = s.admitPass(true)
 		}
 		if admitted == 0 {
-			if s.cfg.Plan != nil && now < s.cfg.Plan.End() {
+			planAhead := s.effPlan != nil && now < s.effPlan.End()
+			if planAhead || s.repairAhead(now) {
 				// A time-varying budget makes an idle cluster a waiting
 				// room, not a dead end — but only for jobs some future
-				// window could actually admit. Rejecting the rest now
-				// (rather than at the final breakpoint) keeps a short
-				// trace from idling the sampler across a long timeline.
+				// window could actually admit. The same holds for lost
+				// capacity a pending repair will restore. Rejecting the
+				// rest now (rather than at the final breakpoint) keeps a
+				// short trace from idling the sampler across a long
+				// timeline.
 				kept := s.queue[:0]
 				for _, e := range s.queue {
-					if s.feasibleInSomeWindow(e.job, now) {
+					switch {
+					case s.feasibleEver(e.job, now):
 						kept = append(kept, e)
-					} else {
-						s.reject(e, "no operating point fits any budget window, even on an idle cluster")
+					case planAhead:
+						s.finalize(e, "no operating point fits any budget window, even on an idle cluster")
+					default:
+						s.finalize(e, "no operating point fits the surviving capacity, even after every pending repair")
 					}
 				}
 				s.queue = kept
 				return
 			}
 			for _, e := range s.queue {
-				s.reject(e, fmt.Sprintf("no operating point fits cap %v even on an idle cluster", s.capAt(now)))
+				s.finalize(e, fmt.Sprintf("no operating point fits cap %v even on an idle cluster", s.capAt(now)))
 			}
 			s.queue = nil
 		}
 	}
 }
 
-// feasibleInSomeWindow reports whether the configured policy would
-// start the job, relaxed, on a fully idle cluster in the current or
-// any future plan window — the park-or-reject test for an idle,
-// blocked queue under a cap timeline. Each probe prices the window's
-// own min-over-lifetime narrowing, so a window is only counted
-// feasible if the job also clears whatever follows it.
-func (s *Scheduler) feasibleInSomeWindow(j Job, now units.Seconds) bool {
+// feasibleEver reports whether the configured policy would start the
+// job, relaxed, on an otherwise idle cluster in the current or any
+// future effective-cap window — the park-or-reject test for an idle,
+// blocked queue. Each probe prices the window's own min-over-lifetime
+// narrowing, so a window is only counted feasible if the job also
+// clears whatever follows it. Under fault injection the probe's
+// capacity excludes permanently dead ranks (no scripted or pending
+// repair will ever bring them back) but keeps ranks a repair will
+// restore, so a job wide enough only for the healed cluster parks
+// instead of dying.
+func (s *Scheduler) feasibleEver(j Job, now units.Seconds) bool {
 	free := make([]int, len(s.pools))
 	for i := range s.pools {
 		free[i] = s.pools[i].size
+	}
+	if s.flt != nil {
+		for r := range s.flt.dead {
+			if s.flt.dead[r] && !s.flt.repairComing(r, now) {
+				free[s.cl.PoolOf(r)]--
+			}
+		}
+	}
+	if s.effPlan == nil {
+		_, ok := s.shadowCandidate(s.cfg.Policy, j, free, s.controlCap(now)-s.idleFloor, now, true, nil)
+		return ok
 	}
 	for t := now; ; {
 		if _, ok := s.shadowCandidate(s.cfg.Policy, j, free, s.controlCap(t)-s.idleFloor, t, true, nil); ok {
 			return true
 		}
-		next, _, ok := s.cfg.Plan.Next(t)
+		next, _, ok := s.effPlan.Next(t)
 		if !ok {
 			return false
 		}
@@ -646,9 +745,9 @@ func (s *Scheduler) schedulePlanEdges() {
 		preDrop bool
 	}
 	var edges []edge
-	prev := s.cfg.Plan.CapAt(0)
-	for _, bp := range s.cfg.Plan.Breakpoints() {
-		next := s.cfg.Plan.CapAt(bp)
+	prev := s.effPlan.CapAt(0)
+	for _, bp := range s.effPlan.Breakpoints() {
+		next := s.effPlan.CapAt(bp)
 		if next < prev {
 			pre := bp - s.cfg.Interval
 			if pre < 0 {
@@ -778,6 +877,19 @@ func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool, queueAfter 
 	perOff := (w.WOff + w.DWOff) / float64(cand.P)
 	perComm := units.Seconds((w.M*float64(mp.Ts) + w.B*float64(mp.Tb)) / float64(cand.P))
 
+	// A restarted attempt executes only its unfinished work plus the
+	// restart surcharge: cand.Tp already carries that scaled runtime
+	// (predTp), so the issued slice workloads shrink by the same factor.
+	scale := 1.0
+	if s.flt != nil && (e.saved > 0 || e.res.Restarts > 0) {
+		if full := prof.Pred[fi].Tp; full > 0 {
+			scale = float64(cand.Tp) / float64(full)
+		}
+		perOn *= scale
+		perOff *= scale
+		perComm = units.Seconds(float64(perComm) * scale)
+	}
+
 	slices := int(float64(cand.Tp)/float64(s.cfg.Interval) + 0.5)
 	if slices < 4 {
 		slices = 4
@@ -807,6 +919,9 @@ func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool, queueAfter 
 		slices:    slices,
 		left:      cand.P,
 		pricedAt:  now,
+		base:      e.saved,
+		lastCkpt:  e.saved,
+		workScale: scale,
 	}
 	for _, r := range ranks {
 		s.parkedEnergy += s.bankMeter(r)
@@ -829,11 +944,21 @@ func (s *Scheduler) start(e *entry, cand Candidate, backfilled bool, queueAfter 
 	if s.tel != nil {
 		s.tel.emitAdmit(rj, cand, backfilled, queueAfter)
 	}
+	if s.flt != nil {
+		if e.res.Restarts > 0 {
+			s.flt.nRestart++
+			if s.tel != nil {
+				s.tel.emitRestart(rj)
+			}
+		}
+		s.armCheckpoint(rj)
+	}
 
 	if s.lockstep && !s.forceRankChains {
 		s.runJob(rj)
 	} else {
 		rj.rankState = make([]phaseCursor, len(ranks))
+		rj.rankTimers = make([]sim.Timer, len(ranks))
 		for i := range ranks {
 			s.runRank(rj, i)
 		}
@@ -858,7 +983,10 @@ func (s *Scheduler) runJob(rj *runningJob) {
 			wall = s.cl.StartComm(r, rj.sliceComm, rj.alpha)
 		}
 	}
-	s.cl.Kernel().After(wall, func() {
+	rj.timer = s.cl.Kernel().AfterTimer(wall, func() {
+		if rj.killed {
+			return
+		}
 		for _, r := range rj.ranks {
 			s.cl.CompleteOp(r)
 		}
@@ -886,7 +1014,10 @@ func (s *Scheduler) runRank(rj *runningJob, i int) {
 	} else {
 		wall = s.cl.StartComm(r, rj.sliceComm, rj.alpha)
 	}
-	s.cl.Kernel().After(wall, func() {
+	rj.rankTimers[i] = s.cl.Kernel().AfterTimer(wall, func() {
+		if rj.killed {
+			return
+		}
 		s.cl.CompleteOp(r)
 		if advancePhase(&st.slice, &st.inComm, rj.sliceComm, rj.slices) {
 			s.runRank(rj, i)
@@ -918,6 +1049,7 @@ func advancePhase(slice *int, inComm *bool, sliceComm units.Seconds, slices int)
 // policy the freed capacity.
 func (s *Scheduler) finish(rj *runningJob) {
 	now := s.cl.Kernel().Now()
+	rj.ckptTimer.Cancel()
 	park := s.ladderOf(rj)[0]
 	for _, r := range rj.ranks {
 		rj.energy += s.bankMeter(r)
@@ -938,7 +1070,8 @@ func (s *Scheduler) finish(rj *runningJob) {
 	res := &rj.e.res
 	res.State = Done
 	res.End = now
-	res.Energy = rj.energy
+	// += not =: earlier killed attempts already banked their energy.
+	res.Energy += rj.energy
 	res.DeadlineMet = rj.e.job.Deadline <= 0 || now <= rj.e.job.Arrival+rj.e.job.Deadline
 	s.remaining--
 	s.cache.Forget(rj.e.job.ID)

@@ -28,6 +28,15 @@ type schedTelemetry struct {
 	headroomW  *telemetry.Gauge
 	freeRanks  []*telemetry.Gauge
 	waitHist   *telemetry.Histogram
+
+	// Fault metrics, registered only under Config.Faults so the metrics
+	// CSV header of a fault-free run is unchanged.
+	fails       *telemetry.Counter
+	repairs     *telemetry.Counter
+	kills       *telemetry.Counter
+	restarts    *telemetry.Counter
+	checkpoints *telemetry.Counter
+	lost        *telemetry.Counter
 }
 
 // newSchedTelemetry wires the recorder into a run: sim-time clock,
@@ -59,6 +68,14 @@ func newSchedTelemetry(s *Scheduler, rec *telemetry.Recorder) *schedTelemetry {
 	t.freeRanks = make([]*telemetry.Gauge, len(s.pools))
 	for i := range s.pools {
 		t.freeRanks[i] = m.Gauge("free_" + s.pools[i].name)
+	}
+	if s.cfg.Faults != nil {
+		t.fails = m.Counter("rank_failures")
+		t.repairs = m.Counter("rank_repairs")
+		t.kills = m.Counter("job_kills")
+		t.restarts = m.Counter("job_restarts")
+		t.checkpoints = m.Counter("checkpoints")
+		t.lost = m.Counter("jobs_lost")
 	}
 	// Every effective per-rank frequency change — admission dispatch,
 	// governor retune, parking at finish — becomes a hardware-level
@@ -229,8 +246,8 @@ func (t *schedTelemetry) emitPlanEdge(preDrop bool) {
 	reason := ""
 	if preDrop {
 		reason = "pre-drop"
-	} else if t.s.cfg.Plan != nil {
-		i, _ := t.s.cfg.Plan.WindowAt(now)
+	} else if t.s.effPlan != nil {
+		i, _ := t.s.effPlan.WindowAt(now)
 		reason = fmt.Sprintf("window %d", i)
 	}
 	t.rec.Emit(telemetry.Event{
@@ -249,5 +266,97 @@ func (t *schedTelemetry) emitViolation(sm power.Sample, cap units.Watts) {
 		Job:   telemetry.NoJob,
 		Power: sm.Total,
 		Cap:   cap,
+	})
+}
+
+// emitFail records a rank going down; source is "scripted" or "mtbf".
+func (t *schedTelemetry) emitFail(rank int, pool, source string) {
+	t.fails.Inc()
+	t.rec.Emit(telemetry.Event{
+		Kind:   telemetry.EvFail,
+		Job:    telemetry.NoJob,
+		Pool:   pool,
+		Rank:   rank,
+		Reason: source,
+	})
+}
+
+// emitRepair records a rank coming back after down seconds.
+func (t *schedTelemetry) emitRepair(rank int, pool string, down units.Seconds) {
+	t.repairs.Inc()
+	t.rec.Emit(telemetry.Event{
+		Kind: telemetry.EvRepair,
+		Job:  telemetry.NoJob,
+		Pool: pool,
+		Rank: rank,
+		Dur:  down,
+	})
+}
+
+// emitKill records a rank failure aborting a running attempt: the work
+// discarded since the last checkpoint, the attempt's wasted energy, and
+// whether the job requeued or is permanently lost.
+func (t *schedTelemetry) emitKill(rj *runningJob, lost units.Seconds, wasted units.Joules, reason string) {
+	t.kills.Inc()
+	t.rec.Emit(telemetry.Event{
+		Kind:   telemetry.EvKill,
+		Job:    rj.e.job.ID,
+		App:    rj.e.job.Vector.Name,
+		Pool:   t.s.pools[rj.pool].name,
+		Ranks:  rj.ranks,
+		Dur:    lost,
+		Energy: wasted,
+		Reason: reason,
+	})
+}
+
+// emitLost records a queued job finalised as lost (it was killed
+// earlier and the surviving capacity can never rerun it). Rendered as
+// a kill with no attempt attached.
+func (t *schedTelemetry) emitLost(e *entry, reason string) {
+	t.kills.Inc()
+	t.rec.Emit(telemetry.Event{
+		Kind:   telemetry.EvKill,
+		Job:    e.job.ID,
+		App:    e.job.Vector.Name,
+		Reason: reason,
+	})
+}
+
+// emitCheckpoint records a periodic checkpoint; EE carries the saved
+// absolute progress fraction.
+func (t *schedTelemetry) emitCheckpoint(rj *runningJob) {
+	t.checkpoints.Inc()
+	t.rec.Emit(telemetry.Event{
+		Kind: telemetry.EvCheckpoint,
+		Job:  rj.e.job.ID,
+		App:  rj.e.job.Vector.Name,
+		Pool: t.s.pools[rj.pool].name,
+		EE:   rj.lastCkpt,
+	})
+}
+
+// emitRestart records a killed job's re-dispatch: P is the attempt
+// ordinal, EE the checkpointed fraction it resumes from.
+func (t *schedTelemetry) emitRestart(rj *runningJob) {
+	t.restarts.Inc()
+	t.rec.Emit(telemetry.Event{
+		Kind: telemetry.EvRestart,
+		Job:  rj.e.job.ID,
+		App:  rj.e.job.Vector.Name,
+		Pool: t.s.pools[rj.pool].name,
+		P:    rj.e.res.Restarts,
+		EE:   rj.base,
+	})
+}
+
+// emitEmergency marks a power-emergency boundary; Cap is the effective
+// cap now in force, which the cap timeline already encodes.
+func (t *schedTelemetry) emitEmergency(cap units.Watts, which string) {
+	t.rec.Emit(telemetry.Event{
+		Kind:   telemetry.EvEmergency,
+		Job:    telemetry.NoJob,
+		Cap:    cap,
+		Reason: which,
 	})
 }

@@ -143,6 +143,12 @@ type Kernel struct {
 	rng       *rand.Rand
 	maxEvents int64 // safety valve against runaway simulations; 0 = unlimited
 	nEvents   int64
+
+	// cancelled holds the seqs of events revoked via Timer.Cancel. The
+	// heap is not rebuilt on cancel; the loop discards a popped event
+	// whose seq is in this set before it can fire. Lazily allocated so
+	// simulations that never cancel pay nothing.
+	cancelled map[int64]struct{}
 }
 
 // NewKernel returns a kernel whose random streams derive from seed.
@@ -190,6 +196,40 @@ func (k *Kernel) After(d units.Seconds, fn func()) {
 	k.Schedule(k.now+d, fn)
 }
 
+// Timer is a handle to one scheduled event that can be revoked before it
+// fires. The zero Timer is valid and Cancel on it is a no-op, so holders
+// need no nil checks for "never armed". Cancelling an event that has
+// already fired (or was already cancelled) is also a no-op: the fired
+// event's seq can never be popped again, so the stale tombstone is
+// harmless and is reclaimed when the queue drains.
+type Timer struct {
+	k   *Kernel
+	seq int64
+}
+
+// Cancel revokes the timer's event if it has not fired yet.
+func (t Timer) Cancel() {
+	if t.k == nil || t.seq == 0 {
+		return
+	}
+	if t.k.cancelled == nil {
+		t.k.cancelled = make(map[int64]struct{})
+	}
+	t.k.cancelled[t.seq] = struct{}{}
+}
+
+// ScheduleTimer is Schedule returning a cancellable handle.
+func (k *Kernel) ScheduleTimer(t units.Seconds, fn func()) Timer {
+	k.Schedule(t, fn)
+	return Timer{k: k, seq: k.seq}
+}
+
+// AfterTimer is After returning a cancellable handle.
+func (k *Kernel) AfterTimer(d units.Seconds, fn func()) Timer {
+	k.After(d, fn)
+	return Timer{k: k, seq: k.seq}
+}
+
 // DeadlockError reports a simulation that ended with parked processes.
 type DeadlockError struct {
 	Time   units.Seconds
@@ -201,19 +241,32 @@ func (e *DeadlockError) Error() string {
 		e.Time, len(e.Parked), strings.Join(e.Parked, "; "))
 }
 
-// loop is the shared event pump: pop, advance the clock, fire.
+// loop is the shared event pump: pop, advance the clock, fire. Cancelled
+// events are discarded before they count against the event budget or
+// move the clock — a cancelled timer leaves no trace on the simulation.
 func (k *Kernel) loop() error {
 	for len(k.events) > 0 && !k.stopped {
+		e := k.events.pop()
+		if len(k.cancelled) > 0 {
+			if _, dead := k.cancelled[e.seq]; dead {
+				delete(k.cancelled, e.seq)
+				continue
+			}
+		}
 		k.nEvents++
 		if k.maxEvents > 0 && k.nEvents > k.maxEvents {
 			return fmt.Errorf("sim: event budget %d exhausted at t=%v (runaway simulation?)", k.maxEvents, k.now)
 		}
-		e := k.events.pop()
 		k.now = e.t
 		e.fn()
 		if k.procErr != nil {
 			return k.procErr
 		}
+	}
+	// Tombstones for events cancelled after firing can never be popped;
+	// reclaim them once the queue drains.
+	if len(k.events) == 0 {
+		k.cancelled = nil
 	}
 	return nil
 }

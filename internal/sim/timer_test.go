@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimerCancelSkipsEvent(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.Schedule(1, func() { order = append(order, "a") })
+	tm := k.ScheduleTimer(2, func() { order = append(order, "b") })
+	k.Schedule(3, func() { order = append(order, "c") })
+	tm.Cancel()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "ac" {
+		t.Fatalf("order = %q, want ac (cancelled event fired)", got)
+	}
+	if k.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", k.Now())
+	}
+}
+
+func TestTimerCancelFromCallback(t *testing.T) {
+	k := NewKernel(1)
+	var tm Timer
+	fired := false
+	k.Schedule(1, func() { tm.Cancel() })
+	tm = k.AfterTimer(5, func() { fired = true })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event fired despite in-sim cancellation")
+	}
+}
+
+func TestTimerCancelledEventsDontCountOrAdvanceClock(t *testing.T) {
+	k := NewKernel(1)
+	k.SetMaxEvents(2)
+	var last float64
+	k.Schedule(1, func() { last = 1 })
+	tm := k.ScheduleTimer(2, func() { t.Error("cancelled event fired") })
+	tm2 := k.AfterTimer(3, func() { t.Error("cancelled event fired") })
+	k.Schedule(4, func() { last = 4 })
+	tm.Cancel()
+	tm2.Cancel()
+	// 2 live events under a budget of 2: cancelled pops must not count.
+	if err := k.Run(); err != nil {
+		t.Fatalf("cancelled events counted against the event budget: %v", err)
+	}
+	if last != 4 {
+		t.Fatalf("last = %v, want 4", last)
+	}
+}
+
+func TestTimerZeroAndPostFireCancelAreNoops(t *testing.T) {
+	var zero Timer
+	zero.Cancel() // must not panic
+
+	k := NewKernel(1)
+	n := 0
+	tm := k.AfterTimer(1, func() { n++ })
+	k.Schedule(2, func() {
+		tm.Cancel() // already fired: no-op
+	})
+	k.Schedule(3, func() { n++ })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("n = %d, want 2", n)
+	}
+	if k.cancelled != nil {
+		t.Fatal("tombstones not reclaimed after queue drained")
+	}
+}
+
+func TestTimerCancelOneOfSameTime(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	timers := make([]Timer, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		timers[i] = k.ScheduleTimer(1, func() { order = append(order, i) })
+	}
+	timers[2].Cancel()
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

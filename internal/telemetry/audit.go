@@ -89,6 +89,19 @@ func line(ev Event) string {
 		return fmt.Sprintf("VIOLATION  measured %.2fW over cap %.1fW", float64(ev.Power), float64(ev.Cap))
 	case EvSample:
 		return fmt.Sprintf("sample     %.2fW of %.1fW", float64(ev.Power), float64(ev.Cap))
+	case EvFail:
+		return fmt.Sprintf("FAIL       rank %d died (%s)", ev.Rank, ev.Reason)
+	case EvRepair:
+		return fmt.Sprintf("repair     rank %d back after %.1fs down", ev.Rank, float64(ev.Dur))
+	case EvKill:
+		return fmt.Sprintf("KILL       lost %.1fs of work, %.0fJ wasted: %s",
+			float64(ev.Dur), float64(ev.Energy), ev.Reason)
+	case EvCheckpoint:
+		return fmt.Sprintf("checkpoint progress %.1f%% saved", ev.EE*100)
+	case EvRestart:
+		return fmt.Sprintf("restart    attempt %d resumes from %.1f%%", ev.P, ev.EE*100)
+	case EvEmergency:
+		return fmt.Sprintf("EMERGENCY  %s: effective cap %.1fW", ev.Reason, float64(ev.Cap))
 	}
 	return "?"
 }

@@ -30,6 +30,7 @@ const (
 	tidAdmission = 1
 	tidGovernor  = 2
 	tidPlan      = 3
+	tidFaults    = 4
 )
 
 // ChromeTraceSink streams the event stream as Chrome trace-event JSON
@@ -247,6 +248,52 @@ func (s *ChromeTraceSink) Write(ev Event) error {
 		s.meta(pidScheduler, tidGovernor, "governor")
 		s.instant(pidScheduler, tidGovernor, "cap violation", ev.T,
 			fmt.Sprintf(`{"power_w":%.2f,"cap_w":%.1f}`, float64(ev.Power), float64(ev.Cap)))
+
+	case EvFail:
+		s.meta(pidRanks, ev.Rank, fmt.Sprintf("rank %d", ev.Rank))
+		s.instant(pidRanks, ev.Rank, "FAIL", ev.T, fmt.Sprintf(`{"reason":%s}`, jstr(ev.Reason)))
+		s.meta(pidScheduler, tidFaults, "faults")
+		s.instant(pidScheduler, tidFaults, fmt.Sprintf("fail rank %d", ev.Rank), ev.T,
+			fmt.Sprintf(`{"pool":%s,"reason":%s}`, jstr(ev.Pool), jstr(ev.Reason)))
+
+	case EvRepair:
+		s.meta(pidRanks, ev.Rank, fmt.Sprintf("rank %d", ev.Rank))
+		s.instant(pidRanks, ev.Rank, "repair", ev.T, fmt.Sprintf(`{"down_s":%.3f}`, float64(ev.Dur)))
+		s.meta(pidScheduler, tidFaults, "faults")
+		s.instant(pidScheduler, tidFaults, fmt.Sprintf("repair rank %d", ev.Rank), ev.T,
+			fmt.Sprintf(`{"pool":%s,"down_s":%.3f}`, jstr(ev.Pool), float64(ev.Dur)))
+
+	case EvKill:
+		// A kill ends the job's run span exactly like a finish, but the
+		// span closes into an instant that tells the loss story.
+		s.meta(pidJobs, ev.Job, jobLabel(ev))
+		if s.running[ev.Job] {
+			delete(s.running, ev.Job)
+			s.span("E", pidJobs, ev.Job, "", ev.T,
+				fmt.Sprintf(`{"killed":true,"lost_work_s":%.3f,"wasted_j":%.1f}`, float64(ev.Dur), float64(ev.Energy)))
+		}
+		for _, r := range ev.Ranks {
+			s.meta(pidRanks, r, fmt.Sprintf("rank %d", r))
+			s.span("E", pidRanks, r, "", ev.T, "")
+		}
+		s.instant(pidJobs, ev.Job, "killed", ev.T,
+			fmt.Sprintf(`{"lost_work_s":%.3f,"wasted_j":%.1f,"reason":%s}`,
+				float64(ev.Dur), float64(ev.Energy), jstr(ev.Reason)))
+
+	case EvCheckpoint:
+		s.meta(pidJobs, ev.Job, jobLabel(ev))
+		s.instant(pidJobs, ev.Job, "checkpoint", ev.T, fmt.Sprintf(`{"progress":%.4f}`, ev.EE))
+
+	case EvRestart:
+		s.meta(pidJobs, ev.Job, jobLabel(ev))
+		s.instant(pidJobs, ev.Job, "restart", ev.T,
+			fmt.Sprintf(`{"attempt":%d,"resume_from":%.4f}`, ev.P, ev.EE))
+
+	case EvEmergency:
+		s.meta(pidScheduler, tidFaults, "faults")
+		s.instant(pidScheduler, tidFaults, "emergency "+ev.Reason, ev.T,
+			fmt.Sprintf(`{"cap_w":%.1f}`, float64(ev.Cap)))
+		s.counter("cap_w", ev.T, fmt.Sprintf(`{"watts":%.1f}`, float64(ev.Cap)))
 	}
 	return s.err
 }

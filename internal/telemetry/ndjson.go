@@ -90,7 +90,7 @@ func (s *NDJSONSink) Write(ev Event) error {
 		job := ev.Job
 		je.Job = &job
 	}
-	if ev.Kind == EvRankRetune {
+	if ev.Kind == EvRankRetune || ev.Kind == EvFail || ev.Kind == EvRepair {
 		rank := ev.Rank
 		je.Rank = &rank
 	}

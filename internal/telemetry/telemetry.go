@@ -68,6 +68,25 @@ const (
 	EvSample
 	// EvViolation: a sample exceeded its cap.
 	EvViolation
+	// EvFail: rank Rank died; Pool names its pool, Reason "scripted" or
+	// "mtbf" distinguishes the fault source.
+	EvFail
+	// EvRepair: rank Rank came back; Dur is how long it was down.
+	EvRepair
+	// EvKill: a rank failure killed the job mid-run; Dur is the work
+	// lost since its last checkpoint (seconds of re-execution), Energy
+	// the energy the dead attempt had already consumed, Reason whether
+	// the job requeued or is permanently lost.
+	EvKill
+	// EvCheckpoint: the job took a periodic checkpoint; EE carries its
+	// saved progress fraction.
+	EvCheckpoint
+	// EvRestart: a previously killed job was re-dispatched; P is its
+	// retry ordinal, EE the checkpointed fraction it resumes from.
+	EvRestart
+	// EvEmergency: a power-emergency boundary; Cap is the effective cap
+	// now in force, Reason "begin" or "end".
+	EvEmergency
 )
 
 var kindNames = [...]string{
@@ -83,6 +102,12 @@ var kindNames = [...]string{
 	EvPlanEdge:   "plan-edge",
 	EvSample:     "sample",
 	EvViolation:  "violation",
+	EvFail:       "fail",
+	EvRepair:     "repair",
+	EvKill:       "kill",
+	EvCheckpoint: "checkpoint",
+	EvRestart:    "restart",
+	EvEmergency:  "emergency",
 }
 
 func (k Kind) String() string {
@@ -106,7 +131,7 @@ type Event struct {
 	Pool string
 	// P is a width (EvAdmit/EvReserve) or a retune count (EvFinish).
 	P int
-	// Rank is the global rank of an EvRankRetune.
+	// Rank is the global rank of an EvRankRetune, EvFail or EvRepair.
 	Rank int
 	// Ranks is the job's rank set. It aliases scheduler state: valid
 	// only during Sink.Write — copy to retain.
