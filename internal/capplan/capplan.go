@@ -43,10 +43,15 @@ type Segment struct {
 	Cap   units.Watts
 }
 
-// Plan is an immutable piecewise-constant power-budget timeline. The
-// zero Plan is invalid; build one with a constructor.
+// Plan is a piecewise-constant power-budget timeline. The zero Plan is
+// invalid; build one with a constructor. Plans are immutable after
+// construction unless built with Revisable, whose caps SetCaps may
+// raise in place — the federation's budget re-negotiation substrate.
 type Plan struct {
 	segs []Segment
+	// revisable permits SetCaps; consumers must not cache
+	// classifications derived from cap values (see IsRevisable).
+	revisable bool
 }
 
 // Steps builds a plan from explicit segments — demand-response windows.
@@ -58,6 +63,66 @@ func Steps(segs ...Segment) (*Plan, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// Revisable builds a plan like Steps whose segment caps may later be
+// raised in place with SetCaps — the substrate for federated budget
+// re-negotiation, where un-negotiated future windows start at a
+// guaranteed floor and each barrier raises them to their negotiated
+// share. Every query reads the caps currently in force; callers own
+// the synchronisation contract (the federation only revises while
+// every consumer of the plan is paused at a sim-time barrier).
+func Revisable(segs ...Segment) (*Plan, error) {
+	p, err := Steps(segs...)
+	if err != nil {
+		return nil, err
+	}
+	p.revisable = true
+	return p, nil
+}
+
+// IsRevisable reports whether SetCaps may rewrite this plan's caps. A
+// consumer of a revisable plan must not pre-compute decisions from cap
+// values that a later revision could invalidate — sched, for example,
+// arms its pre-drop throttle edge at every breakpoint of a revisable
+// plan instead of only where the construction-time caps show a drop.
+func (p *Plan) IsRevisable() bool { return p != nil && p.revisable }
+
+// SetCaps raises the cap of every segment with from ≤ Start < to to
+// cap. The window must be segment-aligned: from must be an existing
+// segment start, and to must be a later segment start or lie beyond the
+// last one. Revisions are raise-only — lowering a cap other consumers
+// already admitted work against could manufacture violations after the
+// fact, whereas raising a conservative floor never can.
+func (p *Plan) SetCaps(from, to units.Seconds, cap units.Watts) error {
+	if !p.IsRevisable() {
+		return errors.New("capplan: SetCaps on a non-revisable plan")
+	}
+	if cap <= 0 {
+		return fmt.Errorf("capplan: SetCaps cap %v must be positive", cap)
+	}
+	if to <= from {
+		return fmt.Errorf("capplan: SetCaps window [%v, %v) is empty", from, to)
+	}
+	lo := sort.Search(len(p.segs), func(i int) bool { return p.segs[i].Start >= from })
+	if lo == len(p.segs) || p.segs[lo].Start != from {
+		return fmt.Errorf("capplan: SetCaps window start %v is not a segment start", from)
+	}
+	hi := sort.Search(len(p.segs), func(i int) bool { return p.segs[i].Start >= to })
+	if hi < len(p.segs) && p.segs[hi].Start != to {
+		return fmt.Errorf("capplan: SetCaps window end %v is not a segment start", to)
+	}
+	// Validate before mutating so a failed revision leaves the plan
+	// untouched.
+	for i := lo; i < hi; i++ {
+		if cap < p.segs[i].Cap {
+			return fmt.Errorf("capplan: SetCaps would lower segment %d (start %v) from %v to %v; revisions are raise-only", i, p.segs[i].Start, p.segs[i].Cap, cap)
+		}
+	}
+	for i := lo; i < hi; i++ {
+		p.segs[i].Cap = cap
+	}
+	return nil
 }
 
 // Constant wraps the paper's fixed power constraint as a one-segment
@@ -130,13 +195,18 @@ func LinearBudget(minCap, maxCap units.Watts) BudgetRule {
 // FromSignal converts an external series (prices, carbon intensity)
 // into a budget timeline: each sample opens a window whose cap is the
 // budget rule applied to its value. Samples must start at t = 0 and
-// strictly ascend.
+// strictly ascend; violations are reported per sample, naming the
+// offending index, so a thousand-point carbon trace pinpoints its one
+// bad row instead of failing through the generic Steps error.
 func FromSignal(signal []Sample, budget BudgetRule) (*Plan, error) {
 	if len(signal) == 0 {
 		return nil, errors.New("capplan: empty signal")
 	}
 	if budget == nil {
 		return nil, errors.New("capplan: nil budget rule")
+	}
+	if err := ValidateSignal(signal); err != nil {
+		return nil, err
 	}
 	lo, hi := signal[0].Value, signal[0].Value
 	for _, s := range signal[1:] {
@@ -147,6 +217,28 @@ func FromSignal(signal []Sample, budget BudgetRule) (*Plan, error) {
 		segs[i] = Segment{Start: s.T, Cap: budget(s.Value, lo, hi)}
 	}
 	return Steps(segs...)
+}
+
+// ValidateSignal checks the sample-time invariants FromSignal (and any
+// other consumer of an external series, such as the federation's
+// carbon-intensity curves) relies on: the first sample at t = 0 and
+// times strictly ascending. Errors name the offending sample index.
+func ValidateSignal(signal []Sample) error {
+	if len(signal) == 0 {
+		return errors.New("capplan: empty signal")
+	}
+	if signal[0].T != 0 {
+		return fmt.Errorf("capplan: signal sample 0 at t=%v, must start at t=0", signal[0].T)
+	}
+	for i := 1; i < len(signal); i++ {
+		switch {
+		case signal[i].T == signal[i-1].T:
+			return fmt.Errorf("capplan: signal sample %d duplicates sample %d's time %v", i, i-1, signal[i].T)
+		case signal[i].T < signal[i-1].T:
+			return fmt.Errorf("capplan: signal sample %d at t=%v is out of order (sample %d is at t=%v)", i, signal[i].T, i-1, signal[i-1].T)
+		}
+	}
+	return nil
 }
 
 // Validate checks the timeline invariants every query relies on: at

@@ -268,3 +268,147 @@ func TestCSVRoundTrip(t *testing.T) {
 		t.Fatal("empty CSV must be rejected")
 	}
 }
+
+func TestValidateSignal(t *testing.T) {
+	good := []Sample{{T: 0, Value: 20}, {T: 100, Value: 80}}
+	if err := ValidateSignal(good); err != nil {
+		t.Fatalf("valid signal rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		signal []Sample
+		want   string
+	}{
+		{"empty", nil, "empty signal"},
+		{"non-zero start", []Sample{{T: 5, Value: 1}}, "sample 0 at t=5"},
+		{"duplicate time", []Sample{{T: 0, Value: 1}, {T: 10, Value: 2}, {T: 10, Value: 3}},
+			"sample 2 duplicates sample 1"},
+		{"out of order", []Sample{{T: 0, Value: 1}, {T: 20, Value: 2}, {T: 10, Value: 3}},
+			"sample 2 at t=10s is out of order (sample 1 is at t=20s)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSignal(tc.signal)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error naming the offending sample: %q", err, tc.want)
+			}
+			// FromSignal applies the same validation before deriving caps.
+			if _, err := FromSignal(tc.signal, LinearBudget(1000, 3000)); err == nil {
+				t.Fatalf("FromSignal accepted the invalid signal")
+			}
+		})
+	}
+}
+
+// TestFromSignalCSVRoundTrip pins the interchange path for derived
+// plans: a signal-driven plan with non-integral caps survives both the
+// CSV and the String/ParsePlan round trips bit-exactly.
+func TestFromSignalCSVRoundTrip(t *testing.T) {
+	signal := []Sample{
+		{T: 0, Value: 20},
+		{T: 97.25, Value: 45},
+		{T: 201.5, Value: 80},
+	}
+	p, err := FromSignal(signal, LinearBudget(1000, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mid sample maps to a non-integral cap — the case %g printing
+	// must preserve exactly.
+	if got := p.CapAt(97.25); got == units.Watts(float64(int(got))) {
+		t.Fatalf("fixture lost its point: cap %v is integral", got)
+	}
+
+	var b strings.Builder
+	if err := p.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Segments()) != len(p.Segments()) {
+		t.Fatalf("CSV round trip changed segment count")
+	}
+	for i, sg := range back.Segments() {
+		if want := p.Segments()[i]; sg != want {
+			t.Errorf("CSV round trip segment %d: %+v, want %+v (bit-exact)", i, sg, want)
+		}
+	}
+
+	reparsed, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sg := range reparsed.Segments() {
+		if want := p.Segments()[i]; sg != want {
+			t.Errorf("String round trip segment %d: %+v, want %+v (bit-exact)", i, sg, want)
+		}
+	}
+}
+
+func TestRevisableSetCaps(t *testing.T) {
+	mk := func() *Plan {
+		p, err := Revisable(
+			Segment{Start: 0, Cap: 1000},
+			Segment{Start: 10, Cap: 400},
+			Segment{Start: 20, Cap: 1000},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	p := mk()
+	if !p.IsRevisable() {
+		t.Fatal("Revisable plan reports IsRevisable() == false")
+	}
+	if squeeze(t).IsRevisable() {
+		t.Fatal("Steps plan reports IsRevisable() == true")
+	}
+
+	// A raise over an aligned window lands and is visible to queries.
+	if err := p.SetCaps(10, 20, 700); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.CapAt(15); got != 700 {
+		t.Fatalf("CapAt(15) = %v after raise to 700", got)
+	}
+	if got := p.MinOver(0, 30); got != 700 {
+		t.Fatalf("MinOver = %v, want 700 after raise", got)
+	}
+	// Raising the final (open-ended) window: to may sit past the end.
+	if err := p.SetCaps(20, 100, 1200); err != nil {
+		t.Fatalf("raising the final window: %v", err)
+	}
+	if got := p.CapAt(25); got != 1200 {
+		t.Fatalf("CapAt(25) = %v after raise to 1200", got)
+	}
+
+	cases := []struct {
+		name string
+		do   func(*Plan) error
+		want string
+	}{
+		{"lower", func(p *Plan) error { return p.SetCaps(10, 20, 300) }, "lower"},
+		{"unaligned from", func(p *Plan) error { return p.SetCaps(5, 20, 700) }, "window start"},
+		{"unaligned to", func(p *Plan) error { return p.SetCaps(10, 15, 700) }, "window end"},
+		{"inverted", func(p *Plan) error { return p.SetCaps(20, 10, 700) }, "empty"},
+		{"non-positive cap", func(p *Plan) error { return p.SetCaps(10, 20, 0) }, "cap"},
+		{"non-revisable", func(*Plan) error { return squeeze(t).SetCaps(3600, 7200, 2000) }, "revisable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := mk()
+			before := p.String()
+			err := tc.do(p)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error mentioning %q", err, tc.want)
+			}
+			if p.String() != before {
+				t.Fatalf("failed revision mutated the plan: %q -> %q", before, p.String())
+			}
+		})
+	}
+}

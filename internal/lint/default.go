@@ -7,7 +7,7 @@ package lint
 // its CSV output is golden-pinned too.)
 var DeterministicPackages = []string{
 	"sched", "sim", "cluster", "capplan", "faults",
-	"figures", "analysis", "opcache", "machine",
+	"figures", "analysis", "opcache", "machine", "fed",
 }
 
 // Default returns the analyzer suite configured for this repository —
@@ -20,7 +20,7 @@ func Default() []*Analyzer {
 		// profiler wall timing) carry //lint:wallclock annotations.
 		SimClock(),
 		TelGuard(
-			[]string{"internal/sched", "internal/power", "internal/faults"},
+			[]string{"internal/sched", "internal/power", "internal/faults", "internal/fed"},
 			[]string{"telemetry.Recorder", "sched.schedTelemetry"},
 		),
 		// unitmix scans the whole tree: unit discipline binds callers

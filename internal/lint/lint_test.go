@@ -17,8 +17,8 @@ func fixtureRoot(t *testing.T) string {
 }
 
 func TestDetMapRangeFixtures(t *testing.T) {
-	RunFixtures(t, fixtureRoot(t), DetMapRange("sched", "fixme"),
-		"det/sched", "det/other", "det/fixme")
+	RunFixtures(t, fixtureRoot(t), DetMapRange("sched", "fixme", "fed"),
+		"det/sched", "det/other", "det/fixme", "det/fed")
 }
 
 func TestSimClockFixtures(t *testing.T) {

@@ -1,0 +1,64 @@
+// Package fed is the detmaprange fixture for the federation idiom: a
+// barrier negotiation merges per-site state, and the merge order must
+// not depend on map iteration — the federated result is golden-pinned
+// bit for bit.
+package fed
+
+import "sort"
+
+type quote struct {
+	site  string
+	watts float64
+}
+
+// broadcastUnsorted wakes the sites straight out of the map — the
+// barrier release order would depend on map iteration.
+func broadcastUnsorted(barriers map[string]chan float64, cap float64) {
+	for _, ch := range barriers { // want `iteration over map barriers is order-dependent`
+		ch <- cap
+	}
+}
+
+// negotiate is the correct barrier idiom: snapshot the site names, sort
+// them, then merge in that fixed order.
+func negotiate(quotes map[string]quote) []float64 {
+	names := make([]string, 0, len(quotes))
+	for name := range quotes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	caps := make([]float64, 0, len(names))
+	for _, name := range names {
+		caps = append(caps, quotes[name].watts)
+	}
+	return caps
+}
+
+// arrivedCount only counts barrier arrivals; order cannot leak.
+func arrivedCount(arrived map[string]bool) int {
+	n := 0
+	for range arrived {
+		n++
+	}
+	return n
+}
+
+// totalWatts folds floats in map order — FP addition does not
+// associate, so the sum is not bit-reproducible.
+func totalWatts(quotes map[string]quote) float64 {
+	total := 0.0
+	for _, q := range quotes { // want `floating-point accumulation`
+		total += q.watts
+	}
+	return total
+}
+
+// collectSites gathers names without a later sort — flagged, because
+// the caller would observe map order.
+func collectSites(quotes map[string]quote) []string {
+	var sites []string
+	for name := range quotes { // want `collects into "sites" but no later sort`
+		sites = append(sites, name)
+	}
+	return sites
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/capplan"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/units"
 )
@@ -190,4 +191,81 @@ func TestResultJSON(t *testing.T) {
 func jsonNumber(n int) string {
 	b, _ := json.Marshal(n)
 	return string(b)
+}
+
+// TestFaultFieldsJSON pins the fault-accounting JSON contract both
+// schedrun -json consumers and the federation merge rely on: the
+// aggregate counters round-trip on Result, and killed jobs carry their
+// restart/lost-work records in snake_case on JobResult.
+func TestFaultFieldsJSON(t *testing.T) {
+	trace := SyntheticTrace(TraceConfig{Jobs: 16, Seed: 5, MaxWidth: 8})
+	s, err := New(Config{
+		Platform: machine.Homogeneous(testSpec()), Ranks: 16, Cap: 900,
+		Faults: &faults.Plan{
+			Scripted: []faults.Scripted{
+				{Rank: 0, T: 0.2},
+				{Rank: 0, T: 0.7, Repair: true},
+			},
+			MaxRetries: 4,
+		},
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 || res.Kills == 0 {
+		t.Fatalf("fixture lost its point: %d failures, %d kills", res.Failures, res.Kills)
+	}
+
+	buf, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Failures     int
+		Repairs      int
+		Kills        int
+		Restarts     int
+		JobsLost     int
+		Checkpoints  int
+		LostWork     units.Seconds
+		WastedEnergy units.Joules
+		Availability float64
+		Jobs         []struct {
+			ID           int           `json:"id"`
+			Restarts     int           `json:"restarts"`
+			Checkpoints  int           `json:"checkpoints"`
+			LostWork     units.Seconds `json:"lost_work_s"`
+			WastedEnergy units.Joules  `json:"wasted_energy_j"`
+		}
+	}
+	if err := json.Unmarshal(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Failures != res.Failures || out.Repairs != res.Repairs ||
+		out.Kills != res.Kills || out.Restarts != res.Restarts ||
+		out.JobsLost != res.JobsLost || out.Checkpoints != res.Checkpoints ||
+		out.LostWork != res.LostWork || out.WastedEnergy != res.WastedEnergy ||
+		out.Availability != res.Availability {
+		t.Fatalf("aggregate fault fields did not round-trip:\ngot  %+v\nwant %+v", out, res)
+	}
+	if out.Availability >= 1 {
+		t.Fatalf("availability %g must reflect the outage", out.Availability)
+	}
+	var restarts int
+	for i, jr := range res.Jobs {
+		oj := out.Jobs[i]
+		if oj.ID != jr.ID || oj.Restarts != jr.Restarts || oj.Checkpoints != jr.Checkpoints ||
+			oj.LostWork != jr.LostWork || oj.WastedEnergy != jr.WastedEnergy {
+			t.Fatalf("job %d fault fields round-tripped as %+v, want %+v", jr.ID, oj, jr)
+		}
+		restarts += oj.Restarts
+	}
+	if restarts != res.Restarts {
+		t.Fatalf("per-job restarts sum %d ≠ aggregate %d", restarts, res.Restarts)
+	}
 }

@@ -748,7 +748,13 @@ func (s *Scheduler) schedulePlanEdges() {
 	prev := s.effPlan.CapAt(0)
 	for _, bp := range s.effPlan.Breakpoints() {
 		next := s.effPlan.CapAt(bp)
-		if next < prev {
+		// A revisable plan's caps can be raised after this walk runs
+		// (federated re-negotiation), so the construction-time
+		// classification of a step as a non-drop may be stale — arm the
+		// pre-throttle at every breakpoint instead. A pre-drop edge only
+		// sheds draw already over the incoming control cap, so the extra
+		// edges are exact no-ops wherever the step turns out not to drop.
+		if next < prev || s.effPlan.IsRevisable() {
 			pre := bp - s.cfg.Interval
 			if pre < 0 {
 				pre = 0

@@ -37,6 +37,7 @@ type jsonEvent struct {
 	Job        *int          `json:"job,omitempty"`
 	App        string        `json:"app,omitempty"`
 	Pool       string        `json:"pool,omitempty"`
+	Site       string        `json:"site,omitempty"`
 	P          int           `json:"p,omitempty"`
 	Rank       *int          `json:"rank,omitempty"`
 	Ranks      []int         `json:"ranks,omitempty"`
@@ -68,6 +69,7 @@ func (s *NDJSONSink) Write(ev Event) error {
 		Kind:       ev.Kind.String(),
 		App:        ev.App,
 		Pool:       ev.Pool,
+		Site:       ev.Site,
 		P:          ev.P,
 		Ranks:      ev.Ranks,
 		FreqFrom:   ev.FreqFrom,

@@ -87,6 +87,13 @@ const (
 	// EvEmergency: a power-emergency boundary; Cap is the effective cap
 	// now in force, Reason "begin" or "end".
 	EvEmergency
+	// EvRoute: the federation frontend routed a job to a site; Site
+	// names it, EE is the predicted energy-efficiency the choice was
+	// priced at, Dur the predicted runtime there, Reason the routing
+	// rule that fired (including spills). T is the job's arrival time:
+	// routing happens in a pre-simulation pass, before any kernel clock
+	// exists.
+	EvRoute
 )
 
 var kindNames = [...]string{
@@ -108,6 +115,7 @@ var kindNames = [...]string{
 	EvCheckpoint: "checkpoint",
 	EvRestart:    "restart",
 	EvEmergency:  "emergency",
+	EvRoute:      "route",
 }
 
 func (k Kind) String() string {
@@ -129,6 +137,9 @@ type Event struct {
 	App string
 	// Pool names the platform pool the event concerns.
 	Pool string
+	// Site names the federation site of an EvRoute (empty outside
+	// federated runs).
+	Site string
 	// P is a width (EvAdmit/EvReserve) or a retune count (EvFinish).
 	P int
 	// Rank is the global rank of an EvRankRetune, EvFail or EvRepair.
