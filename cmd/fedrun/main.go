@@ -33,6 +33,14 @@
 // precedence) — so CI smoke jobs assert the federated zero-violation
 // guarantee on the status alone.
 //
+// Observability follows the same single-run rule as schedrun: -events
+// PREFIX (needs one -split and one -route) writes each site's decision
+// stream to PREFIX-<site>.ndjson — every event stamped with its site,
+// so `traceq merge` reassembles the federation's global timeline — plus
+// the frontend's routing stream to PREFIX-route.ndjson. -status ADDR
+// serves live per-site snapshots (JSON at /status.json, Prometheus text
+// at /metrics) while the sites run.
+//
 // Usage:
 //
 //	fedrun -jobs 32 -sites "east=systemg:16;west=systemg:16"
@@ -40,7 +48,8 @@
 //	       [-carbon "east=0:420,2:120;west=0:120,2:420"]
 //	       [-local "west=0:2000"] [-split all] [-route all]
 //	       [-lambda 0.5] [-batch S] [-spill S] [-policy ee-max]
-//	       [-seed 1] [-detail] [-json out.json]
+//	       [-seed 1] [-detail] [-events PREFIX] [-status :8080]
+//	       [-json out.json]
 package main
 
 import (
@@ -55,7 +64,9 @@ import (
 	"repro/internal/capplan"
 	"repro/internal/fed"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -76,6 +87,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace and simulation seed")
 	detail := flag.Bool("detail", false, "print per-site and routing tables for every combination")
 	jsonPath := flag.String("json", "", `write machine-readable results as JSON to this file ("-" = stdout)`)
+	eventsPrefix := flag.String("events", "", "write per-site decision streams as NDJSON to PREFIX-<site>.ndjson plus the routing stream to PREFIX-route.ndjson (needs a single -split and -route)")
+	statusAddr := flag.String("status", "", "serve live per-site run status over HTTP on this address (e.g. :8080): JSON at /status.json, Prometheus text at /metrics")
 	flag.Parse()
 
 	var plan *capplan.Plan
@@ -124,6 +137,22 @@ func main() {
 	splits := pickPolicies(*split, "-split", splitNames())
 	routes := pickPolicies(*route, "-route", routeNames())
 
+	// Per-site traces and live status label by site name; sweeping
+	// several combinations would interleave streams under the same
+	// labels, so both demand a single federated run.
+	obsOn := *eventsPrefix != "" || *statusAddr != ""
+	if obsOn && (len(splits) > 1 || len(routes) > 1) {
+		usage("-events/-status record a single federated run; select one -split and one -route")
+	}
+	var srv *obs.StatusServer
+	if *statusAddr != "" {
+		s, err := obs.ListenStatus(*statusAddr)
+		exitOn(err)
+		srv = s
+		defer srv.Close()
+		fmt.Printf("status: http://%s (JSON at /status.json, Prometheus at /metrics)\n\n", srv.Addr())
+	}
+
 	// The default trace (jobs are moldable, so widths clamp to each
 	// site's pools) keeps a 1-site fedrun on the same trace schedrun
 	// generates — the byte-identity CI smoke relies on that.
@@ -134,7 +163,7 @@ func main() {
 	var results []fed.Result
 	for _, sp := range splits {
 		for _, rt := range routes {
-			res, err := fed.Run(fed.Config{
+			cfg := fed.Config{
 				Sites:         sites,
 				Budget:        plan,
 				Split:         fed.SplitPolicies()[sp](),
@@ -145,10 +174,60 @@ func main() {
 				PerfSlack:     *slack,
 				Policy:        pol,
 				Seed:          *seed,
-			}, trace)
+			}
+			// One recorder and one obs.Host per site — sites run on
+			// their own goroutines and must not share either. Hosts are
+			// created lazily so SiteObs and SiteTelemetry agree on the
+			// instance regardless of call order.
+			var recs []*telemetry.Recorder
+			var files []*os.File
+			if obsOn {
+				hosts := map[string]*obs.Host{}
+				hostFor := func(site string) *obs.Host {
+					if h, ok := hosts[site]; ok {
+						return h
+					}
+					h := obs.NewHost()
+					hosts[site] = h
+					return h
+				}
+				if srv != nil {
+					cfg.SiteObs = hostFor
+				}
+				cfg.SiteTelemetry = func(site string) *telemetry.Recorder {
+					rec := telemetry.New()
+					if *eventsPrefix != "" {
+						f, err := os.Create(fmt.Sprintf("%s-%s.ndjson", *eventsPrefix, site))
+						exitOn(err)
+						files = append(files, f)
+						rec.AddSink(telemetry.WithSite(site, telemetry.NewNDJSONSink(f)))
+					}
+					if srv != nil {
+						rec.AddSink(obs.NewPublisher(srv, site, hostFor(site), rec.Metrics(), 0))
+					}
+					recs = append(recs, rec)
+					return rec
+				}
+				if *eventsPrefix != "" {
+					f, err := os.Create(*eventsPrefix + "-route.ndjson")
+					exitOn(err)
+					files = append(files, f)
+					froute := telemetry.New(telemetry.NewNDJSONSink(f))
+					cfg.Telemetry = froute
+					recs = append(recs, froute)
+				}
+			}
+			res, err := fed.Run(cfg, trace)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
+			}
+			for _, rec := range recs {
+				exitOn(rec.Close())
+				exitOn(rec.Err())
+			}
+			for _, f := range files {
+				exitOn(f.Close())
 			}
 			results = append(results, res)
 			if *detail {

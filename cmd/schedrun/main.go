@@ -88,6 +88,7 @@ import (
 	"repro/internal/capplan"
 	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
 	"repro/internal/units"
@@ -120,6 +121,9 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write sim-time metrics as CSV to this file (needs -policy NAME)")
 	audit := flag.String("audit", "", `print a decision audit: "summary", "all", or a job ID (needs -policy NAME)`)
 	jsonPath := flag.String("json", "", `write machine-readable results as JSON to this file ("-" = stdout)`)
+	verbose := flag.Bool("v", false, "print a one-line host-side summary (wall time, events/s, opcache hit rate, allocations) after each policy run")
+	rollup := flag.Float64("rollup", 0, "aggregate -events into sim-time buckets of this width in seconds: a bounded-memory CSV rollup instead of raw NDJSON")
+	statusAddr := flag.String("status", "", "serve live run status over HTTP on this address (e.g. :8080 or 127.0.0.1:0): JSON at /status.json, Prometheus text at /metrics")
 	repeat := flag.Int("repeat", 1, "run each policy's schedule N times (profiling workload)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the schedule runs to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the schedule runs to this file")
@@ -320,6 +324,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-trace/-events/-metrics/-audit record a single schedule; select one policy with -policy NAME")
 		os.Exit(2)
 	}
+	if *rollup < 0 {
+		fmt.Fprintf(os.Stderr, "-rollup %g must not be negative\n", *rollup)
+		os.Exit(2)
+	}
+	if *rollup > 0 && *eventsPath == "" {
+		fmt.Fprintln(os.Stderr, "-rollup aggregates the -events stream; give it a destination with -events FILE")
+		os.Exit(2)
+	}
 	auditJob := -1
 	if *audit != "" && *audit != "summary" && *audit != "all" {
 		id, err := strconv.Atoi(*audit)
@@ -356,10 +368,23 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// The status server outlives individual runs: each policy run
+	// publishes snapshots under its own label, and the final snapshot of
+	// a finished run stays queryable while later policies execute.
+	var srv *obs.StatusServer
+	if *statusAddr != "" {
+		s, err := obs.ListenStatus(*statusAddr)
+		exitOn(err)
+		srv = s
+		defer srv.Close()
+		fmt.Printf("status: http://%s (JSON at /status.json, Prometheus at /metrics)\n\n", srv.Addr())
+	}
+
 	var results []sched.Result
 	for _, pol := range policies {
 		var res sched.Result
 		var mem *telemetry.MemorySink
+		var host *obs.Host
 		for r := 0; r < *repeat; r++ {
 			cfg := sched.Config{
 				Platform:   platform,
@@ -389,7 +414,13 @@ func main() {
 					return f
 				}
 				if *eventsPath != "" {
-					rec.AddSink(telemetry.NewNDJSONSink(openSink(*eventsPath)))
+					if *rollup > 0 {
+						rs, err := telemetry.NewRollupSink(openSink(*eventsPath), units.Seconds(*rollup))
+						exitOn(err)
+						rec.AddSink(rs)
+					} else {
+						rec.AddSink(telemetry.NewNDJSONSink(openSink(*eventsPath)))
+					}
 				}
 				if *tracePath != "" {
 					rec.AddSink(telemetry.NewChromeTraceSink(openSink(*tracePath)))
@@ -401,6 +432,24 @@ func main() {
 				if *metricsPath != "" {
 					rec.Metrics().StreamCSV(openSink(*metricsPath))
 				}
+			}
+			// Host-side observability: a fresh collector per repetition
+			// so phase timers and allocation deltas cover exactly one
+			// run; -v prints the final repetition's summary below.
+			if *verbose || srv != nil {
+				host = obs.NewHost()
+				cfg.Obs = host
+			}
+			if srv != nil {
+				// Live publishing needs an event stream to pace it; an
+				// otherwise sink-less run gets a recorder carrying only
+				// the publisher.
+				if rec == nil {
+					rec = telemetry.New()
+				}
+				rec.AddSink(obs.NewPublisher(srv, pol.Name(), host, rec.Metrics(), 0))
+			}
+			if rec != nil {
 				cfg.Telemetry = rec
 			}
 			s, err := sched.New(cfg)
@@ -417,6 +466,9 @@ func main() {
 			}
 		}
 		results = append(results, res)
+		if *verbose && host != nil {
+			fmt.Printf("host %s: %s\n", res.Policy, host.Summary())
+		}
 		if *detail {
 			fmt.Printf("== %s ==\n%s\n", res.Policy, res.JobTable())
 		}

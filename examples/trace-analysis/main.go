@@ -1,0 +1,103 @@
+// Trace-analysis walkthrough: from a live schedule to NDJSON to the
+// traceq query engine, all in-process — the offline half of the
+// observability layer.
+//
+// The pipeline mirrors what `schedrun -events trace.ndjson` followed by
+// `traceq <query> trace.ndjson` does on disk: run a schedule under a
+// demand-response cap squeeze with an NDJSON sink attached, decode the
+// stream back (telemetry.DecodeNDJSON is the format contract's inverse),
+// and interrogate it:
+//
+//   - why:      one job's lifecycle, ranked block reasons, and the
+//     causal chain of completions that finally unblocked it;
+//   - critpath: the wait/run dependency chain that set the makespan;
+//   - windows:  the per-cap-window rollup (admissions, energy, peak
+//     power per budget window).
+//
+// Everything is deterministic: the same (seed, plan) pair produces the
+// same trace, so the same queries print the same answers.
+//
+// Run it:
+//
+//	go run ./examples/trace-analysis
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/capplan"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+	"repro/internal/traceq"
+)
+
+func main() {
+	// A demand-response squeeze mid-trace: 2500 W, dipping to 2000 W
+	// between t=0.3 and t=0.6 — jobs queue up at the squeeze and drain
+	// at the recovery edge, which gives the queries something to say.
+	plan, err := capplan.ParsePlan("0:2500,0.3:2000,0.6:2500")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The schedule streams its decisions into an in-memory NDJSON log
+	// (on disk this would be schedrun -events trace.ndjson).
+	var ndjson bytes.Buffer
+	rec := telemetry.New(telemetry.NewNDJSONSink(&ndjson))
+	s, err := sched.New(sched.Config{
+		Platform:  machine.Homogeneous(machine.SystemG()),
+		Ranks:     64,
+		Plan:      plan,
+		Policy:    sched.Backfill(sched.EEMax()),
+		Seed:      1,
+		Telemetry: rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := sched.SyntheticTrace(sched.TraceConfig{Jobs: 32, Seed: 1})
+	res, err := s.Run(trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schedule: %d jobs, makespan %v, %d NDJSON events\n\n",
+		res.Completed, res.Makespan, bytes.Count(ndjson.Bytes(), []byte{'\n'}))
+
+	// Decode the stream back — the same parse cmd/traceq applies to a
+	// trace file.
+	evs, err := telemetry.DecodeNDJSON(&ndjson)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick the longest-waiting admitted job: the one "why" has the most
+	// to explain.
+	worst, worstWait := -1, -1.0
+	for _, ev := range evs {
+		if ev.Kind == telemetry.EvAdmit && float64(ev.Wait) > worstWait {
+			worst, worstWait = ev.Job, float64(ev.Wait)
+		}
+	}
+
+	fmt.Printf("== traceq why %d ==\n", worst)
+	if err := traceq.Why(os.Stdout, evs, worst); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== traceq critpath ==")
+	if err := traceq.Critpath(os.Stdout, evs); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== traceq windows ==")
+	if err := traceq.Windows(os.Stdout, evs); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/opcache"
 	"repro/internal/sched"
 	"repro/internal/telemetry"
@@ -81,9 +82,21 @@ type Config struct {
 	Seed       int64
 	// Telemetry, when non-nil, receives the frontend's EvRoute stream
 	// (stamped with job arrival times). Per-site schedulers run
-	// concurrently and are deliberately not wired to it — attach
-	// recorders to single-site runs for per-decision traces.
+	// concurrently and are deliberately not wired to it — use
+	// SiteTelemetry for per-decision site traces.
 	Telemetry *telemetry.Recorder
+	// SiteTelemetry, when non-nil, is called once per site (in Sites
+	// order, before any simulation starts) and may return a recorder
+	// for that site's scheduler. Each site runs on its own goroutine
+	// with its own kernel, so a recorder must not be shared across
+	// sites; wrap sinks in telemetry.WithSite so merged streams
+	// (traceq merge) stay keyed by site. Nil results disable tracing
+	// for that site.
+	SiteTelemetry func(site string) *telemetry.Recorder
+	// SiteObs, when non-nil, likewise returns a per-site host-side
+	// observability collector (or nil). Same ownership rule: one
+	// obs.Host per site, never shared — Hosts are single-goroutine.
+	SiteObs func(site string) *obs.Host
 }
 
 const (
@@ -500,7 +513,7 @@ func (f *federation) buildPlans() error {
 // or arrival events — the revision lands before anyone reads the cap.
 func (f *federation) buildSchedulers() error {
 	for _, sr := range f.sites {
-		s, err := sched.New(sched.Config{
+		scfg := sched.Config{
 			Platform:   sr.site.Platform,
 			Plan:       sr.plan,
 			Faults:     sr.site.Faults,
@@ -509,7 +522,14 @@ func (f *federation) buildSchedulers() error {
 			EdgeRetune: f.cfg.EdgeRetune,
 			PerfSlack:  f.cfg.PerfSlack,
 			Seed:       f.cfg.Seed,
-		})
+		}
+		if f.cfg.SiteTelemetry != nil {
+			scfg.Telemetry = f.cfg.SiteTelemetry(sr.site.Name)
+		}
+		if f.cfg.SiteObs != nil {
+			scfg.Obs = f.cfg.SiteObs(sr.site.Name)
+		}
+		s, err := sched.New(scfg)
 		if err != nil {
 			return fmt.Errorf("fed: site %q: %w", sr.site.Name, err)
 		}

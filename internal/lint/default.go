@@ -21,7 +21,7 @@ func Default() []*Analyzer {
 		SimClock(),
 		TelGuard(
 			[]string{"internal/sched", "internal/power", "internal/faults", "internal/fed"},
-			[]string{"telemetry.Recorder", "sched.schedTelemetry"},
+			[]string{"telemetry.Recorder", "sched.schedTelemetry", "obs.Host"},
 		),
 		// unitmix scans the whole tree: unit discipline binds callers
 		// (cmd, examples) as much as the model packages.

@@ -79,12 +79,35 @@ type Cache struct {
 	ladder []units.Hertz
 	params []machine.Params // per ladder index
 
-	mu     sync.Mutex
-	rows   map[any]map[rowKey]*Row
-	errs   map[any]map[rowKey]error
-	points map[any]map[pointKey]core.Prediction
-	hits   uint64
-	misses uint64
+	mu      sync.Mutex
+	rows    map[any]map[rowKey]*Row
+	errs    map[any]map[rowKey]error
+	points  map[any]map[pointKey]core.Prediction
+	hits    uint64
+	misses  uint64
+	forgets uint64
+}
+
+// Stats are a cache's cumulative counters: rows served from memory vs
+// evaluated, and owner invalidations. HitRate is derived; the zero
+// Stats reports 0.
+type Stats struct {
+	Hits, Misses, Forgets uint64
+}
+
+// Add accumulates o into s (the per-pool → platform aggregation).
+func (s *Stats) Add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Forgets += o.Forgets
+}
+
+// HitRate returns hits/(hits+misses) in [0,1], or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
 }
 
 // New validates the spec and prepares a cache over its DVFS ladder.
@@ -232,18 +255,19 @@ func (c *Cache) PointAt(owner any, v app.Vector, n float64, p, fIdx int) (core.P
 // bounded by the jobs still in the system.
 func (c *Cache) Forget(owner any) {
 	c.mu.Lock()
+	c.forgets++
 	delete(c.rows, owner)
 	delete(c.errs, owner)
 	delete(c.points, owner)
 	c.mu.Unlock()
 }
 
-// Stats reports cache hits and misses (rows served from memory vs
-// evaluated), for tests and performance reports.
-func (c *Cache) Stats() (hits, misses uint64) {
+// Stats reports the cache's cumulative hit/miss/forget counters, for
+// tests, performance reports and the host observability layer.
+func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return Stats{Hits: c.hits, Misses: c.misses, Forgets: c.forgets}
 }
 
 // Size returns the number of rows currently held (successful and failed

@@ -61,9 +61,9 @@ func TestRowMemoized(t *testing.T) {
 	if a != b {
 		t.Fatal("second read evaluated a fresh row")
 	}
-	hits, misses := c.Stats()
-	if hits != 1 || misses != 1 {
-		t.Fatalf("stats = %d hits %d misses, want 1/1", hits, misses)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %d hits %d misses, want 1/1", st.Hits, st.Misses)
 	}
 	// A different owner with identical numbers is a separate row: owner
 	// is the vector's identity, not an optimisation hint.
@@ -115,9 +115,12 @@ func TestForget(t *testing.T) {
 	if _, err := c.Row(1, app.EP(), 1e7, 2); err != nil {
 		t.Fatal(err)
 	}
-	_, misses := c.Stats()
-	if misses != 3 {
-		t.Fatalf("forgotten row must re-evaluate: %d misses, want 3", misses)
+	st := c.Stats()
+	if st.Misses != 3 {
+		t.Fatalf("forgotten row must re-evaluate: %d misses, want 3", st.Misses)
+	}
+	if st.Forgets != 1 {
+		t.Fatalf("forgets = %d, want 1", st.Forgets)
 	}
 }
 
@@ -130,8 +133,8 @@ func TestPointAtLazy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, misses := c.Stats(); hits != 0 || misses != 1 {
-		t.Fatalf("stats = %d/%d, want 0 hits 1 miss", hits, misses)
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %d/%d, want 0 hits 1 miss", st.Hits, st.Misses)
 	}
 	if n := c.Size(); n != 1 {
 		t.Fatalf("size = %d after one point, want 1 (whole-ladder row would be wasteful)", n)
@@ -216,11 +219,11 @@ func TestErrorMemoized(t *testing.T) {
 	if _, err := c.Row("bad", bad, 1, 2); err == nil {
 		t.Skip("model accepts zero-work vectors; nothing to memoize")
 	}
-	_, missesBefore := c.Stats()
+	missesBefore := c.Stats().Misses
 	if _, err := c.Row("bad", bad, 1, 2); err == nil {
 		t.Fatal("second read must return the memoized error")
 	}
-	_, missesAfter := c.Stats()
+	missesAfter := c.Stats().Misses
 	if missesAfter != missesBefore {
 		t.Fatalf("error row re-evaluated: misses %d → %d", missesBefore, missesAfter)
 	}

@@ -49,14 +49,20 @@ func (pc *PlatformCache) Forget(owner any) {
 	}
 }
 
-// Stats sums hits and misses over all pools.
-func (pc *PlatformCache) Stats() (hits, misses uint64) {
+// Stats sums hit/miss/forget counters over all pools. PoolStats gives
+// the per-pool breakdown.
+func (pc *PlatformCache) Stats() Stats {
+	var s Stats
 	for _, c := range pc.pools {
-		h, m := c.Stats()
-		hits += h
-		misses += m
+		s.Add(c.Stats())
 	}
-	return hits, misses
+	return s
+}
+
+// PoolStats returns pool i's counters under the pool's display name —
+// the per-pool breakdown the host observability layer surfaces.
+func (pc *PlatformCache) PoolStats(i int) (name string, s Stats) {
+	return pc.platform.Pools[i].PoolName(), pc.pools[i].Stats()
 }
 
 // Size sums held rows over all pools.

@@ -54,16 +54,16 @@ func TestPlatformCacheFanOutForget(t *testing.T) {
 		t.Fatalf("after Forget(1): %d rows, want job 2's pair only", got)
 	}
 	// Job 2's rows survive in every pool: re-reading them is a pure hit.
-	hits0, misses0 := pc.Stats()
+	st0 := pc.Stats()
 	for pool := 0; pool < pc.NumPools(); pool++ {
 		if _, err := pc.Pool(pool).Row(2, v, 1e7, 2); err != nil {
 			t.Fatal(err)
 		}
 	}
-	hits1, misses1 := pc.Stats()
-	if hits1 != hits0+2 || misses1 != misses0 {
+	st1 := pc.Stats()
+	if st1.Hits != st0.Hits+2 || st1.Misses != st0.Misses {
 		t.Fatalf("job 2 rows should survive in both pools: hits %d→%d misses %d→%d",
-			hits0, hits1, misses0, misses1)
+			st0.Hits, st1.Hits, st0.Misses, st1.Misses)
 	}
 	// Job 1's rows are gone from every pool: re-reading re-evaluates.
 	for pool := 0; pool < pc.NumPools(); pool++ {
@@ -71,10 +71,10 @@ func TestPlatformCacheFanOutForget(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	hits2, misses2 := pc.Stats()
-	if hits2 != hits1 || misses2 != misses1+2 {
+	st2 := pc.Stats()
+	if st2.Hits != st1.Hits || st2.Misses != st1.Misses+2 {
 		t.Fatalf("job 1 rows should have been dropped in both pools: hits %d→%d misses %d→%d",
-			hits1, hits2, misses1, misses2)
+			st1.Hits, st2.Hits, st1.Misses, st2.Misses)
 	}
 	if got := pc.Size(); got != 4 {
 		t.Fatalf("re-evaluation should restore 4 rows, got %d", got)

@@ -1,0 +1,52 @@
+package opcache
+
+import (
+	"testing"
+
+	"repro/internal/app"
+)
+
+// PoolStats exposes each pool's counters under its display name, and
+// the Stats struct arithmetic (Add, HitRate) is consistent with the
+// platform aggregate.
+func TestPoolStats(t *testing.T) {
+	pc := testPlatformCache(t)
+	v := app.EP()
+	// Two lookups on pool 0 (miss then hit), one on pool 1 (miss), one
+	// forget that drops rows in both pools.
+	if _, err := pc.Pool(0).Row(1, v, 1e7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Pool(0).Row(1, v, 1e7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Pool(1).Row(1, v, 1e7, 2); err != nil {
+		t.Fatal(err)
+	}
+	pc.Forget(1)
+
+	name0, st0 := pc.PoolStats(0)
+	name1, st1 := pc.PoolStats(1)
+	if name0 == "" || name0 == name1 {
+		t.Fatalf("pool names must be distinct and non-empty: %q vs %q", name0, name1)
+	}
+	if st0.Hits != 1 || st0.Misses != 1 || st0.Forgets != 1 {
+		t.Fatalf("pool 0 stats = %+v, want 1h/1m/1f", st0)
+	}
+	if st1.Hits != 0 || st1.Misses != 1 || st1.Forgets != 1 {
+		t.Fatalf("pool 1 stats = %+v, want 0h/1m/1f", st1)
+	}
+
+	var sum Stats
+	sum.Add(st0)
+	sum.Add(st1)
+	if agg := pc.Stats(); agg != sum {
+		t.Fatalf("platform aggregate %+v != sum of pools %+v", agg, sum)
+	}
+	if got, want := st0.HitRate(), 0.5; got != want {
+		t.Fatalf("pool 0 hit rate = %g, want %g", got, want)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("hit rate before any lookup must be 0")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -208,6 +209,20 @@ func (b backfillPolicy) Admit(ctx *AdmitContext) {
 // when there is nothing running to wait for or the job is infeasible
 // even on the drained cluster.
 func (s *Scheduler) computeReservation(head Job, inner Policy, ctx *AdmitContext, prior []*reservation) *reservation {
+	var t0 int64
+	if s.hst != nil {
+		t0 = s.hst.Begin()
+	}
+	r := s.shadowWalk(head, inner, ctx, prior)
+	if s.hst != nil {
+		s.hst.End(obs.PhaseBackfill, t0)
+	}
+	return r
+}
+
+// shadowWalk is computeReservation's body, split out so the host phase
+// timer wraps every return path.
+func (s *Scheduler) shadowWalk(head Job, inner Policy, ctx *AdmitContext, prior []*reservation) *reservation {
 	type event struct {
 		t     units.Seconds
 		id    int

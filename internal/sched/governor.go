@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/units"
 )
@@ -62,9 +63,16 @@ func (g *governor) onSample(sm power.Sample) {
 	if !g.s.cfg.Policy.DVFS() {
 		return
 	}
+	var t0 int64
+	if g.s.hst != nil {
+		t0 = g.s.hst.Begin()
+	}
 	g.throttle()
 	if len(g.s.running) > 0 {
 		g.boost()
+	}
+	if g.s.hst != nil {
+		g.s.hst.End(obs.PhaseGovernor, t0)
 	}
 }
 

@@ -257,12 +257,12 @@ func TestOpCacheAbsorbsRepricing(t *testing.T) {
 	if _, err := s.Run(SyntheticTrace(TraceConfig{Jobs: 24, Seed: 3, MaxWidth: 8})); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses := s.cache.Stats()
-	if misses == 0 {
+	st := s.cache.Stats()
+	if st.Misses == 0 {
 		t.Fatal("cache never evaluated a row")
 	}
-	if hits < 2*misses {
-		t.Fatalf("cache ineffective: %d hits vs %d misses", hits, misses)
+	if st.Hits < 2*st.Misses {
+		t.Fatalf("cache ineffective: %d hits vs %d misses", st.Hits, st.Misses)
 	}
 	if n := s.cache.Size(); n != 0 {
 		t.Fatalf("cache holds %d rows after every job left the system", n)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/opcache"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -75,6 +76,15 @@ type Config struct {
 	// an untaken branch: no events, no allocations, schedules
 	// byte-identical to an uninstrumented run.
 	Telemetry *telemetry.Recorder
+	// Obs, when non-nil, attaches the host-side self-observability
+	// layer (internal/obs): wall-clock phase timers around the
+	// admission pass, backfill shadow walk, governor retune and kernel
+	// event drain, plus kernel/opcache gauges and per-Run allocation
+	// deltas. Strictly host-side — it never feeds back into a
+	// scheduling decision, so an observed run is byte-identical to an
+	// unobserved one. Nil (the default) compiles every site to an
+	// untaken branch, the same discipline as Telemetry.
+	Obs *obs.Host
 	// PerfSlack bounds how much service quality an EE-optimising
 	// admission may trade away: a width is only eligible if its best
 	// runtime over the DVFS ladder stays within PerfSlack × the job's
@@ -112,6 +122,10 @@ type Scheduler struct {
 	// tel is the telemetry glue, nil when Config.Telemetry is nil;
 	// every emit site guards on it (internal/sched/telemetry.go).
 	tel *schedTelemetry
+	// hst is the host observability handle, nil when Config.Obs is
+	// nil; every phase-timer site guards on it (same discipline as
+	// tel, enforced by telguard).
+	hst *obs.Host
 
 	// effPlan is the cap timeline every budget decision prices against:
 	// Config.Plan composed with the fault plan's power emergencies
@@ -312,6 +326,7 @@ func New(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg:        cfg,
 		cl:         cl,
+		hst:        cfg.Obs,
 		cache:      cache,
 		lockstep:   cfg.Noise.ComputeJitter == 0 && cfg.Noise.MemoryJitter == 0,
 		owner:      make([]*runningJob, cfg.Ranks),
@@ -553,6 +568,23 @@ func (s *Scheduler) Run(jobs []Job) (Result, error) {
 	}
 	prof.OnSample(s.gov.onSample)
 	prof.KeepSampling(func() bool { return s.remaining > 0 })
+	if s.hst != nil {
+		// Host-side gauges: Snapshot polls these live sources on the
+		// run's own goroutine, never from a concurrent reader.
+		s.hst.SetSources(
+			s.cl.Kernel().Stats,
+			s.cache.Stats,
+			func() []obs.PoolCache {
+				pools := make([]obs.PoolCache, s.cache.NumPools())
+				for i := range pools {
+					name, st := s.cache.PoolStats(i)
+					pools[i] = obs.PoolCache{Name: name, Stats: st}
+				}
+				return pools
+			},
+		)
+		s.hst.RunStart()
+	}
 
 	// A cap timeline's breakpoints are scheduling edges in their own
 	// right: ahead of a downward step the governor must shed draw so no
@@ -580,8 +612,16 @@ func (s *Scheduler) Run(jobs []Job) (Result, error) {
 	// Nothing in the scheduler spawns a process: job slices are timer
 	// callbacks, so the whole trace runs on the kernel's channel-free
 	// fast path.
+	var drainT0 int64
+	if s.hst != nil {
+		drainT0 = s.hst.Begin()
+	}
 	if err := k.RunCallback(); err != nil {
 		return Result{}, fmt.Errorf("sched: simulation failed: %w", err)
+	}
+	if s.hst != nil {
+		s.hst.End(obs.PhaseDrain, drainT0)
+		s.hst.RunEnd()
 	}
 
 	// Close the books: whatever every rank dissipated after its last
@@ -817,15 +857,26 @@ func (s *Scheduler) edgeRetune() {
 	if !s.cfg.EdgeRetune || s.gov == nil || !s.cfg.Policy.DVFS() {
 		return
 	}
+	var t0 int64
+	if s.hst != nil {
+		t0 = s.hst.Begin()
+	}
 	s.gov.throttle()
 	if len(s.running) > 0 {
 		s.gov.boost()
+	}
+	if s.hst != nil {
+		s.hst.End(obs.PhaseGovernor, t0)
 	}
 }
 
 // admitPass runs one policy admission round; it returns how many jobs
 // were started.
 func (s *Scheduler) admitPass(relaxed bool) int {
+	var t0 int64
+	if s.hst != nil {
+		t0 = s.hst.Begin()
+	}
 	ctx := &AdmitContext{
 		s:        s,
 		now:      s.cl.Kernel().Now(),
@@ -856,6 +907,9 @@ func (s *Scheduler) admitPass(relaxed bool) int {
 			}
 		}
 		s.queue = kept
+	}
+	if s.hst != nil {
+		s.hst.End(obs.PhaseAdmission, t0)
 	}
 	return len(ctx.admitted)
 }

@@ -149,6 +149,13 @@ type Kernel struct {
 	// whose seq is in this set before it can fire. Lazily allocated so
 	// simulations that never cancel pay nothing.
 	cancelled map[int64]struct{}
+
+	// Always-on host-side gauges (a compare or two per event — see
+	// Stats). They never feed back into the simulation.
+	maxHeap  int           // heap depth high-water
+	lastEvT  units.Seconds // sim time of the last fired event
+	curDrain int64         // callbacks fired at lastEvT so far
+	maxDrain int64         // longest same-instant callback cascade
 }
 
 // NewKernel returns a kernel whose random streams derive from seed.
@@ -186,6 +193,9 @@ func (k *Kernel) Schedule(t units.Seconds, fn func()) {
 	}
 	k.seq++
 	k.events.push(event{t: t, seq: k.seq, fn: fn})
+	if n := len(k.events); n > k.maxHeap {
+		k.maxHeap = n
+	}
 }
 
 // After registers fn to run d from now.
@@ -256,6 +266,15 @@ func (k *Kernel) loop() error {
 		k.nEvents++
 		if k.maxEvents > 0 && k.nEvents > k.maxEvents {
 			return fmt.Errorf("sim: event budget %d exhausted at t=%v (runaway simulation?)", k.maxEvents, k.now)
+		}
+		if k.nEvents > 1 && e.t == k.lastEvT {
+			k.curDrain++
+		} else {
+			k.lastEvT = e.t
+			k.curDrain = 1
+		}
+		if k.curDrain > k.maxDrain {
+			k.maxDrain = k.curDrain
 		}
 		k.now = e.t
 		e.fn()
@@ -331,6 +350,27 @@ func (k *Kernel) RunCallback() error {
 	}
 	k.running = false
 	return k.Run()
+}
+
+// Stats are cumulative host-side kernel gauges: how much event traffic
+// a run generated and how much pressure it put on the queue. They are
+// pure observers — reading them never perturbs the simulation — and
+// they are cheap enough (one compare in Schedule, two in the loop) to
+// stay on unconditionally.
+type Stats struct {
+	// Events counts callbacks fired (cancelled events excluded).
+	Events int64
+	// MaxHeap is the event-heap depth high-water mark.
+	MaxHeap int
+	// MaxDrain is the longest run of callbacks fired at one sim
+	// instant — the deepest same-time cascade the run produced.
+	MaxDrain int64
+}
+
+// Stats returns the kernel's cumulative gauges. Valid at any point;
+// most callers read it after Run/RunCallback returns.
+func (k *Kernel) Stats() Stats {
+	return Stats{Events: k.nEvents, MaxHeap: k.maxHeap, MaxDrain: k.maxDrain}
 }
 
 // Stop makes Run return after the current event completes. Intended for

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// The always-on kernel gauges: event count, heap-depth high-water, and
+// the longest same-instant drain cascade.
+func TestKernelStats(t *testing.T) {
+	k := NewKernel(1)
+	// Three distinct times queued up front: heap high-water 3.
+	k.Schedule(1, func() {})
+	k.Schedule(2, func() {})
+	// Four events at t=3: a drain cascade of length 4.
+	for i := 0; i < 4; i++ {
+		k.Schedule(3, func() {})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := k.Stats()
+	if st.Events != 6 {
+		t.Fatalf("Events = %d, want 6", st.Events)
+	}
+	if st.MaxHeap != 6 {
+		t.Fatalf("MaxHeap = %d, want 6 (all events queued before Run)", st.MaxHeap)
+	}
+	if st.MaxDrain != 4 {
+		t.Fatalf("MaxDrain = %d, want 4 (the t=3 cascade)", st.MaxDrain)
+	}
+}
+
+// A fresh kernel reports zero gauges.
+func TestKernelStatsZero(t *testing.T) {
+	k := NewKernel(1)
+	if st := k.Stats(); st != (Stats{}) {
+		t.Fatalf("fresh kernel Stats = %+v, want zero", st)
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 
 	"repro/internal/units"
@@ -85,6 +86,7 @@ func (s *NDJSONSink) Write(ev Event) error {
 		Energy:     ev.Energy,
 		EE:         ev.EE,
 		Queue:      ev.Queue,
+		Free:       ev.Free,
 		Backfilled: ev.Backfilled,
 		Reason:     ev.Reason,
 	}
@@ -104,13 +106,98 @@ func (s *NDJSONSink) Write(ev Event) error {
 	return nil
 }
 
-// Close flushes the buffer.
-func (s *NDJSONSink) Close() error {
+// Flush forces buffered lines to the underlying writer. A flush error
+// is sticky: later Writes and Close report it instead of silently
+// dropping the tail of the stream at process exit.
+func (s *NDJSONSink) Flush() error {
 	if s.err != nil {
 		return s.err
 	}
-	return s.w.Flush()
+	if err := s.w.Flush(); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// Close flushes the buffer.
+func (s *NDJSONSink) Close() error {
+	return s.Flush()
 }
 
 // Count returns the number of events written.
 func (s *NDJSONSink) Count() int { return s.n }
+
+// KindByName resolves an NDJSON "ev" string back to its Kind; ok is
+// false for unknown names.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+// DecodeNDJSON parses a stream produced by NDJSONSink back into
+// events — the offline half of the format contract cmd/traceq is
+// built on. Blank lines are skipped; an unknown "ev" name or malformed
+// line is an error naming the line number.
+func DecodeNDJSON(r io.Reader) ([]Event, error) {
+	var evs []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("telemetry: ndjson line %d: %w", line, err)
+		}
+		kind, ok := KindByName(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("telemetry: ndjson line %d: unknown event kind %q", line, je.Kind)
+		}
+		ev := Event{
+			T:          units.Seconds(je.T),
+			Kind:       kind,
+			Job:        NoJob,
+			App:        je.App,
+			Pool:       je.Pool,
+			Site:       je.Site,
+			P:          je.P,
+			Ranks:      je.Ranks,
+			FreqFrom:   je.FreqFrom,
+			Freq:       je.Freq,
+			WattsFrom:  je.WattsFrom,
+			Watts:      je.Watts,
+			Cap:        je.Cap,
+			Power:      je.Power,
+			Headroom:   je.Headroom,
+			Wait:       je.Wait,
+			Dur:        je.Dur,
+			At:         je.At,
+			Energy:     je.Energy,
+			EE:         je.EE,
+			Queue:      je.Queue,
+			Free:       je.Free,
+			Backfilled: je.Backfilled,
+			Reason:     je.Reason,
+		}
+		if je.Job != nil {
+			ev.Job = *je.Job
+		}
+		if je.Rank != nil {
+			ev.Rank = *je.Rank
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: ndjson line %d: %w", line+1, err)
+	}
+	return evs, nil
+}

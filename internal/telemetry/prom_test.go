@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// WriteProm renders the registry as Prometheus text: counters, gauges,
+// and histograms with cumulative buckets, all carrying the caller's
+// labels. A nil registry writes nothing.
+func TestWriteProm(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("jobs_admitted").Add(5)
+	m.Gauge("queue_depth").Set(3)
+	h := m.Histogram("wait_s", 0.1, 1)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := m.WriteProm(&b, `run="fifo"`); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE jobs_admitted counter",
+		`jobs_admitted{run="fifo"} 5`,
+		"# TYPE queue_depth gauge",
+		`queue_depth{run="fifo"} 3`,
+		"# TYPE wait_s histogram",
+		`wait_s_bucket{run="fifo",le="0.1"} 1`,
+		`wait_s_bucket{run="fifo",le="1"} 2`,
+		`wait_s_bucket{run="fifo",le="+Inf"} 3`,
+		`wait_s_count{run="fifo"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output misses %q:\n%s", want, out)
+		}
+	}
+
+	var nilB strings.Builder
+	var nilM *Metrics
+	if err := nilM.WriteProm(&nilB, ""); err != nil || nilB.Len() != 0 {
+		t.Fatalf("nil registry: err=%v out=%q", err, nilB.String())
+	}
+}

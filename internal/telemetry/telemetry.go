@@ -278,6 +278,29 @@ func (r *Recorder) Close() error {
 	return err
 }
 
+// siteSink stamps events with a federation site name before
+// forwarding — the per-site trace wiring fedrun's -events uses so
+// cross-site merges (traceq merge) can key on Event.Site.
+type siteSink struct {
+	site  string
+	inner Sink
+}
+
+// WithSite wraps inner so every event without a Site carries the given
+// site name.
+func WithSite(site string, inner Sink) Sink {
+	return siteSink{site: site, inner: inner}
+}
+
+func (s siteSink) Write(ev Event) error {
+	if ev.Site == "" {
+		ev.Site = s.site
+	}
+	return s.inner.Write(ev)
+}
+
+func (s siteSink) Close() error { return s.inner.Close() }
+
 // MemorySink retains the whole event stream in memory — the audit
 // renderer's and the tests' backing store. Ranks slices are copied so
 // retained events stay valid after the scheduler mutates its free

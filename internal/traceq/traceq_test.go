@@ -1,0 +1,177 @@
+package traceq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// synthetic builds the canonical two-job dependency: job 0 admitted on
+// arrival, job 1 blocked on watts until job 0's finish at t=5 unblocks
+// it in the same admission pass.
+func synthetic() []telemetry.Event {
+	return []telemetry.Event{
+		{T: 0, Kind: telemetry.EvArrive, Job: 0, App: "EP"},
+		{T: 0, Kind: telemetry.EvAdmit, Job: 0, App: "EP", Pool: "SystemG", P: 32, Wait: 0},
+		{T: 1, Kind: telemetry.EvArrive, Job: 1, App: "FT"},
+		{T: 1, Kind: telemetry.EvAttempt, Job: 1, Reason: "watts: over budget"},
+		{T: 2, Kind: telemetry.EvAttempt, Job: 1, Reason: "watts: over budget"},
+		{T: 2, Kind: telemetry.EvAttempt, Job: 1, Reason: "ranks: full"},
+		{T: 5, Kind: telemetry.EvFinish, Job: 0, App: "EP", Dur: 5, Energy: 100},
+		{T: 5, Kind: telemetry.EvAdmit, Job: 1, App: "FT", Pool: "SystemG", P: 16, Wait: 4},
+		{T: 9, Kind: telemetry.EvFinish, Job: 1, App: "FT", Dur: 4, Energy: 80},
+	}
+}
+
+func TestWhy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Why(&buf, synthetic(), 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"job 1 (FT):",
+		"arrive   t=1.000",
+		"admit    t=5.000",
+		"blocked  3 attempt(s)",
+		`2× watts: over budget`,
+		`1× ranks: full`,
+		"job 1 admitted at t=5.000 (waited 4.000s) ← unblocked by finish of job 0",
+		"job 0 admitted at t=0.000 on arrival (no wait)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("why output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWhyUnknownJob(t *testing.T) {
+	if err := Why(&bytes.Buffer{}, synthetic(), 99); err == nil {
+		t.Fatal("unknown job must error")
+	}
+}
+
+func TestWhyPlanEdgeEnabler(t *testing.T) {
+	evs := []telemetry.Event{
+		{T: 0, Kind: telemetry.EvArrive, Job: 0},
+		{T: 0, Kind: telemetry.EvAttempt, Job: 0, Reason: "plan-min-cap"},
+		{T: 3, Kind: telemetry.EvPlanEdge, Job: telemetry.NoJob, Cap: 2500, Reason: "edge"},
+		{T: 3, Kind: telemetry.EvAdmit, Job: 0, Pool: "SystemG", P: 8, Wait: 3},
+	}
+	var buf bytes.Buffer
+	if err := Why(&buf, evs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "unblocked by cap edge to 2500W") {
+		t.Fatalf("plan-edge enabler not found:\n%s", buf.String())
+	}
+}
+
+func TestCritpath(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Critpath(&buf, synthetic()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"critical path to makespan 9.000s",
+		"run  job 1       4.000s",
+		"wait job 1       4.000s",
+		"run  job 0       5.000s",
+		"── arrival",
+		"chain covers 9.000s of 9.000s makespan (100%)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("critpath misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCritpathNoFinishes(t *testing.T) {
+	evs := []telemetry.Event{{T: 0, Kind: telemetry.EvArrive, Job: 0}}
+	if err := Critpath(&bytes.Buffer{}, evs); err == nil {
+		t.Fatal("a trace without finishes must error")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	evs := []telemetry.Event{
+		{T: 0, Kind: telemetry.EvSample, Job: telemetry.NoJob, Power: 2000, Cap: 2500},
+		{T: 0.5, Kind: telemetry.EvAdmit, Job: 0, Wait: 0.1},
+		{T: 1.5, Kind: telemetry.EvPlanEdge, Job: telemetry.NoJob, Cap: 1800, Reason: "pre-drop"},
+		{T: 2, Kind: telemetry.EvPlanEdge, Job: telemetry.NoJob, Cap: 1500},
+		{T: 2.5, Kind: telemetry.EvThrottle, Job: 0},
+		{T: 3, Kind: telemetry.EvSample, Job: telemetry.NoJob, Power: 1400, Cap: 1500},
+		{T: 3.5, Kind: telemetry.EvFinish, Job: 0, Energy: 500},
+	}
+	var buf bytes.Buffer
+	if err := Windows(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// Header + the opening window + the t=2 edge window; the pre-drop
+	// edge must NOT open a window.
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 windows, got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[1], "2500") || !strings.Contains(lines[1], "0.00→2.00") {
+		t.Fatalf("opening window wrong: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "1500") || !strings.Contains(lines[2], "2.00→end") {
+		t.Fatalf("edge window wrong: %s", lines[2])
+	}
+	if !strings.Contains(lines[2], "500.0") {
+		t.Fatalf("finish energy not attributed to the edge window: %s", lines[2])
+	}
+}
+
+func TestMerge(t *testing.T) {
+	east := []telemetry.Event{
+		{T: 0, Kind: telemetry.EvArrive, Job: 0},
+		{T: 2, Kind: telemetry.EvFinish, Job: 0},
+	}
+	west := []telemetry.Event{
+		{T: 1, Kind: telemetry.EvArrive, Job: 1, Site: "already-stamped"},
+		{T: 2, Kind: telemetry.EvFinish, Job: 1},
+	}
+	render := func() string {
+		var buf bytes.Buffer
+		if err := Merge(&buf, []NamedTrace{
+			{Site: "east", Events: east},
+			{Site: "west", Events: west},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	out := render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("merged %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Sim-time order; at the t=2 tie east (earlier input) precedes west.
+	wantOrder := []string{`"site":"east"`, `"site":"already-stamped"`, `"site":"east"`, `"site":"west"`}
+	for i, want := range wantOrder {
+		if !strings.Contains(lines[i], want) {
+			t.Fatalf("line %d = %s, want %s", i, lines[i], want)
+		}
+	}
+	// An existing Site stamp survives the merge.
+	if !strings.Contains(lines[1], "already-stamped") {
+		t.Fatalf("pre-stamped site overwritten: %s", lines[1])
+	}
+	// Deterministic: the same inputs merge to the same bytes.
+	if render() != out {
+		t.Fatal("merge is not deterministic")
+	}
+	// Round-trip: the merged stream decodes.
+	evs, err := telemetry.DecodeNDJSON(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 || evs[0].T > evs[1].T || evs[1].T > evs[2].T || evs[2].T > evs[3].T {
+		t.Fatalf("merged stream not time-ordered: %+v", evs)
+	}
+}
